@@ -1,0 +1,75 @@
+// Future-work bench: does the advisor's cost model pick organizations that
+// measure well? For each grid cell, compare the advisor's balanced-weights
+// recommendation against the measured per-cell score ranking.
+#include <cmath>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace artsparse;
+  const ScaleKind scale = scale_from_args(argc, argv);
+
+  std::printf("Advisor vs measurement (%s scale)\n\n",
+              scale == ScaleKind::kPaper ? "paper" : "small");
+  const auto measurements = bench::run_paper_grid(scale);
+
+  std::map<std::string, std::vector<const Measurement*>> cells;
+  for (const Measurement& m : measurements) {
+    cells[m.workload].push_back(&m);
+  }
+
+  TextTable table({"Workload", "Advisor pick", "Measured best",
+                   "Pick's cost vs best", "Agree"});
+  std::size_t near_optimal = 0;
+  for (const Workload& w : paper_grid(scale)) {
+    const SparseDataset dataset = make_dataset(w.shape, w.spec, w.seed);
+    const SparsityProfile profile =
+        profile_sparsity(dataset.coords, dataset.shape);
+    const double queries_per_write =
+        static_cast<double>(w.read_region().cell_count()) /
+        static_cast<double>(dataset.point_count());
+    const Recommendation rec = recommend_organization(
+        profile, WorkloadWeights::balanced(), queries_per_write);
+
+    // Measured per-cell score: normalized write + read + size.
+    const auto& cell = cells.at(w.name);
+    auto cell_score = [&](OrgKind org) {
+      double max_w = 0, max_r = 0, max_s = 0;
+      for (const Measurement* m : cell) {
+        max_w = std::max(max_w, m->write_times.total());
+        max_r = std::max(max_r, m->read_times.total());
+        max_s = std::max(max_s, static_cast<double>(m->file_bytes));
+      }
+      for (const Measurement* m : cell) {
+        if (m->org == org) {
+          return m->write_times.total() / max_w +
+                 m->read_times.total() / max_r +
+                 static_cast<double>(m->file_bytes) / max_s;
+        }
+      }
+      return 3.0;
+    };
+    OrgKind measured_best = OrgKind::kCoo;
+    double best_score = 1e300;
+    for (OrgKind org : kPaperOrgs) {
+      const double s = cell_score(org);
+      if (s < best_score) {
+        best_score = s;
+        measured_best = org;
+      }
+    }
+    const OrgKind pick = rec.best().org;
+    const double regret = cell_score(pick) / best_score;
+    if (regret < 1.5) ++near_optimal;
+    table.add_row({w.name, to_string(pick), to_string(measured_best),
+                   format_fixed(regret, 2) + "x",
+                   pick == measured_best ? "yes" : "no"});
+  }
+
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("\nchecks: advisor within 1.5x of the measured best in %zu of "
+              "%zu cells\n",
+              near_optimal, cells.size());
+  bench::emit_csv(table, "advisor");
+  return bench::any_unverified(measurements) ? 1 : 0;
+}

@@ -1,0 +1,72 @@
+// Fig. 3: writing time of the five organizations across patterns and
+// dimensions. Expected shape: COO and LINEAR fastest overall; with the
+// Lustre-like device model COO's larger fragment makes LINEAR the overall
+// winner; GCSC++ slower than GCSR++ on row-major input; CSF in between.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace artsparse;
+  const ScaleKind scale = scale_from_args(argc, argv);
+
+  std::printf("Fig. 3 — total write time in seconds (%s scale)\n\n",
+              scale == ScaleKind::kPaper ? "paper" : "small");
+  const auto measurements = bench::run_paper_grid(scale);
+
+  TextTable table({"Workload", "Points", "COO", "LINEAR", "GCSR++",
+                   "GCSC++", "CSF"});
+  std::map<std::string, std::map<OrgKind, const Measurement*>> cells;
+  for (const Measurement& m : measurements) {
+    cells[m.workload][m.org] = &m;
+  }
+  // Keep the paper's pattern-major ordering rather than map order.
+  for (const Workload& w : paper_grid(scale)) {
+    const auto& row = cells.at(w.name);
+    std::vector<std::string> out{
+        w.name, std::to_string(row.begin()->second->point_count)};
+    for (OrgKind org : kPaperOrgs) {
+      out.push_back(format_seconds(row.at(org)->write_times.total()));
+    }
+    table.add_row(std::move(out));
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  // The figure itself, as ASCII bars.
+  std::vector<std::string> rows;
+  std::vector<std::string> series;
+  for (OrgKind org : kPaperOrgs) series.push_back(to_string(org));
+  std::vector<std::vector<double>> chart;
+  for (const Workload& w : paper_grid(scale)) {
+    rows.push_back(w.name);
+    std::vector<double> bar;
+    for (OrgKind org : kPaperOrgs) {
+      bar.push_back(cells.at(w.name).at(org)->write_times.total());
+    }
+    chart.push_back(std::move(bar));
+  }
+  std::printf("\n%s", bar_chart("Fig. 3 — write time (s)", rows, series,
+                                chart).c_str());
+
+  // Ordering checks across the whole grid.
+  std::size_t linear_beats_coo = 0;
+  std::size_t gcsr_beats_gcsc = 0;
+  std::size_t fast_orgs_beat_sorters = 0;
+  std::size_t n_cells = 0;
+  for (const auto& [name, row] : cells) {
+    ++n_cells;
+    const double coo = row.at(OrgKind::kCoo)->write_times.total();
+    const double lin = row.at(OrgKind::kLinear)->write_times.total();
+    const double gcsr = row.at(OrgKind::kGcsr)->write_times.total();
+    const double gcsc = row.at(OrgKind::kGcsc)->write_times.total();
+    const double csf = row.at(OrgKind::kCsf)->write_times.total();
+    if (lin <= coo) ++linear_beats_coo;
+    if (gcsr <= gcsc) ++gcsr_beats_gcsc;
+    if (std::min(coo, lin) <= std::min({gcsr, gcsc, csf}))
+      ++fast_orgs_beat_sorters;
+  }
+  std::printf("\nchecks (cells of %zu): LINEAR<=COO in %zu; "
+              "GCSR++<=GCSC++ in %zu; COO/LINEAR fastest in %zu\n",
+              n_cells, linear_beats_coo, gcsr_beats_gcsc,
+              fast_orgs_beat_sorters);
+  bench::emit_csv(table, "fig3_write_time");
+  return bench::any_unverified(measurements) ? 1 : 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 4: file size of the organizations across patterns and dimensions.
+// Expected shape: LINEAR < GCSR++ ~= GCSC++ <= CSF <= COO, with COO ~d x
+// LINEAR's index and CSF varying with the pattern's prefix sharing.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace artsparse;
+  const ScaleKind scale = scale_from_args(argc, argv);
+
+  std::printf("Fig. 4 — fragment file size in bytes (%s scale)\n\n",
+              scale == ScaleKind::kPaper ? "paper" : "small");
+  const auto measurements = bench::run_paper_grid(scale);
+
+  TextTable table({"Workload", "Points", "COO", "LINEAR", "GCSR++",
+                   "GCSC++", "CSF"});
+  std::map<std::string, std::map<OrgKind, const Measurement*>> cells;
+  for (const Measurement& m : measurements) {
+    cells[m.workload][m.org] = &m;
+  }
+  for (const Workload& w : paper_grid(scale)) {
+    const auto& row = cells.at(w.name);
+    std::vector<std::string> out{
+        w.name, std::to_string(row.begin()->second->point_count)};
+    for (OrgKind org : kPaperOrgs) {
+      out.push_back(std::to_string(row.at(org)->file_bytes));
+    }
+    table.add_row(std::move(out));
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  std::vector<std::string> rows;
+  std::vector<std::string> series;
+  for (OrgKind org : kPaperOrgs) series.push_back(to_string(org));
+  std::vector<std::vector<double>> chart;
+  for (const Workload& w : paper_grid(scale)) {
+    rows.push_back(w.name);
+    std::vector<double> bar;
+    for (OrgKind org : kPaperOrgs) {
+      bar.push_back(static_cast<double>(cells.at(w.name).at(org)->file_bytes));
+    }
+    chart.push_back(std::move(bar));
+  }
+  std::printf("\n%s", bar_chart("Fig. 4 — file size (bytes)", rows, series,
+                                chart).c_str());
+
+  std::size_t ordering_holds = 0;
+  std::size_t coo_d_times_linear = 0;
+  std::size_t n_cells = 0;
+  for (const auto& [name, row] : cells) {
+    ++n_cells;
+    const auto coo = row.at(OrgKind::kCoo)->index_bytes;
+    const auto lin = row.at(OrgKind::kLinear)->index_bytes;
+    const auto gcsr = row.at(OrgKind::kGcsr)->index_bytes;
+    const auto gcsc = row.at(OrgKind::kGcsc)->index_bytes;
+    const auto csf = row.at(OrgKind::kCsf)->index_bytes;
+    if (lin <= gcsr && gcsr <= gcsc + 64 && gcsc <= coo + 64 && csf <= coo)
+      ++ordering_holds;
+    const double ratio = static_cast<double>(coo) / static_cast<double>(lin);
+    const auto rank = row.at(OrgKind::kCoo)->rank;
+    if (ratio > 0.8 * static_cast<double>(rank) &&
+        ratio < 1.2 * static_cast<double>(rank)) {
+      ++coo_d_times_linear;
+    }
+  }
+  std::printf("\nchecks (cells of %zu): LINEAR<=GCSR++<=GCSC++<=COO and "
+              "CSF<=COO in %zu; COO ~ d x LINEAR in %zu\n",
+              n_cells, ordering_holds, coo_d_times_linear);
+  bench::emit_csv(table, "fig4_file_size");
+  return bench::any_unverified(measurements) ? 1 : 0;
+}

@@ -1,0 +1,83 @@
+// Extension bench: iteration-bound kernels (SpMV on 2-D, MTTKRP on 3-D —
+// the SPLATT workload CSF was designed for) across organizations. All
+// organizations iterate all nnz, so this measures each layout's native
+// traversal throughput rather than point queries.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace artsparse;
+
+double time_best_of(int repeats, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    WallTimer timer;
+    fn();
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace artsparse;
+  const ScaleKind scale = scale_from_args(argc, argv);
+
+  std::printf("Kernels — SpMV (2-D) and MTTKRP (3-D, rank 8) per "
+              "organization (%s scale)\n\n",
+              scale == ScaleKind::kPaper ? "paper" : "small");
+
+  const Workload w2 = make_workload(2, PatternKind::kGsp, scale);
+  const SparseDataset mat = make_dataset(w2.shape, w2.spec, w2.seed);
+  const Workload w3 = make_workload(3, PatternKind::kGsp, scale);
+  const SparseDataset cube = make_dataset(w3.shape, w3.spec, w3.seed);
+
+  std::vector<value_t> x(static_cast<std::size_t>(w2.shape.extent(1)));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 1.0 + 1e-3 * static_cast<double>(i % 97);
+  }
+  constexpr std::size_t kRank = 8;
+  DenseMatrix B(static_cast<std::size_t>(w3.shape.extent(1)), kRank, 0.5);
+  DenseMatrix C(static_cast<std::size_t>(w3.shape.extent(2)), kRank, 0.25);
+
+  TextTable table({"Org", "SpMV ms", "SpMV Mnnz/s", "MTTKRP ms",
+                   "MTTKRP Mnnz/s", "checksum"});
+  double reference_checksum = 0.0;
+  bool checksums_agree = true;
+  for (OrgKind org : kPaperOrgs) {
+    const SparseTensor A(mat, org);
+    const SparseTensor X(cube, org);
+
+    std::vector<value_t> y;
+    const double spmv_s = time_best_of(3, [&] { y = spmv(A, x); });
+    DenseMatrix M;
+    const double mttkrp_s = time_best_of(3, [&] { M = mttkrp(X, B, C); });
+
+    double checksum = 0.0;
+    for (value_t v : y) checksum += v;
+    for (value_t v : M.data()) checksum += v;
+    if (reference_checksum == 0.0) {
+      reference_checksum = checksum;
+    } else if (std::abs(checksum - reference_checksum) >
+               1e-6 * std::abs(reference_checksum)) {
+      checksums_agree = false;
+    }
+
+    table.add_row(
+        {to_string(org), format_fixed(spmv_s * 1e3, 2),
+         format_fixed(static_cast<double>(mat.point_count()) / spmv_s / 1e6,
+                      1),
+         format_fixed(mttkrp_s * 1e3, 2),
+         format_fixed(static_cast<double>(cube.point_count()) / mttkrp_s /
+                          1e6,
+                      1),
+         format_fixed(checksum, 3)});
+  }
+
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("\nchecks: all organizations computed identical results %s\n",
+              checksums_agree ? "OK" : "MISMATCH");
+  bench::emit_csv(table, "ops_kernels");
+  return checksums_agree ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+// Table I: empirical scaling study backing the complexity table — build
+// time, per-query read time, and index bytes as n grows, per organization.
+// google-benchmark binary; run with --benchmark_filter=... to narrow.
+//
+// What to look for in the output:
+//   Build/COO      ~ O(n) buffer copy with a tiny constant (the paper's
+//                    "O(1)" counts organization work, not buffering)
+//   Build/LINEAR   ~ O(n * d)
+//   Build/GCSR++ GCSC++ CSF ~ O(n log n)
+//   Read/COO LINEAR ~ O(n) per query
+//   Read/GCSR++    ~ O(n / min(m)) per query
+//   Read/CSF       ~ O(d log) per query (flat in n)
+#include <benchmark/benchmark.h>
+
+#include "artsparse.hpp"
+
+namespace {
+
+using namespace artsparse;
+
+// 3-D GSP datasets of growing n; extent chosen so density stays modest.
+SparseDataset dataset_for(std::int64_t n) {
+  const index_t extent = 128;
+  const Shape shape = Shape::uniform(3, extent);
+  const double p = static_cast<double>(n) /
+                   static_cast<double>(shape.element_count());
+  return make_dataset(shape, GspConfig{p}, /*seed=*/4242);
+}
+
+void BM_Build(benchmark::State& state, OrgKind org) {
+  const SparseDataset dataset = dataset_for(state.range(0));
+  for (auto _ : state) {
+    auto format = make_format(org);
+    benchmark::DoNotOptimize(format->build(dataset.coords, dataset.shape));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(dataset.point_count()));
+  state.counters["points"] = static_cast<double>(dataset.point_count());
+}
+
+void BM_Read(benchmark::State& state, OrgKind org) {
+  const SparseDataset dataset = dataset_for(state.range(0));
+  auto format = make_format(org);
+  format->build(dataset.coords, dataset.shape);
+
+  // Fixed query batch: 256 cells around the tensor center (hits + misses).
+  CoordBuffer queries(3);
+  const Box region({60, 60, 60}, {67, 67, 63});
+  enumerate_cells(region, queries);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(format->read(queries));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(dataset.point_count()));
+  state.counters["queries"] = static_cast<double>(queries.size());
+}
+
+void BM_IndexBytes(benchmark::State& state, OrgKind org) {
+  const SparseDataset dataset = dataset_for(state.range(0));
+  auto format = make_format(org);
+  format->build(dataset.coords, dataset.shape);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    bytes = format->index_bytes();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["index_bytes"] = static_cast<double>(bytes);
+  state.counters["bytes_per_point"] =
+      static_cast<double>(bytes) /
+      static_cast<double>(dataset.point_count());
+}
+
+void register_all() {
+  // n sweep: ~8k .. ~128k points. COO/LINEAR reads are O(n * queries);
+  // keep the top end modest so the whole binary stays laptop-fast.
+  for (OrgKind org : kPaperOrgs) {
+    const std::string name = to_string(org);
+    benchmark::RegisterBenchmark(("Build/" + name).c_str(),
+                                 [org](benchmark::State& s) {
+                                   BM_Build(s, org);
+                                 })
+        ->RangeMultiplier(4)
+        ->Range(8 << 10, 128 << 10)
+        ->Complexity(benchmark::oNLogN)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("Read/" + name).c_str(),
+                                 [org](benchmark::State& s) {
+                                   BM_Read(s, org);
+                                 })
+        ->RangeMultiplier(4)
+        ->Range(8 << 10, 128 << 10)
+        ->Complexity(benchmark::oN)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("IndexBytes/" + name).c_str(),
+                                 [org](benchmark::State& s) {
+                                   BM_IndexBytes(s, org);
+                                 })
+        ->Arg(64 << 10)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table IV: overall scores of the organizations — every metric normalized
+// by the per-cell maximum, averaged over dimensions, patterns, and metrics.
+// Paper values: COO 0.76, LINEAR 0.34, GCSR++ 0.36, GCSC++ 0.50, CSF 0.48;
+// the shape to reproduce is LINEAR best, GCSR++ close behind, COO worst.
+#include <cmath>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace artsparse;
+  const ScaleKind scale = scale_from_args(argc, argv);
+
+  std::printf("Table IV — overall scores (%s scale, lower is better)\n\n",
+              scale == ScaleKind::kPaper ? "paper" : "small");
+  const auto measurements = bench::run_paper_grid(scale);
+  const ScoreTable scores = compute_scores(measurements);
+
+  TextTable table({"Metric", "COO", "LINEAR", "GCSR++", "GCSC++", "CSF"});
+  auto add = [&](const std::string& name,
+                 const std::map<OrgKind, double>& row) {
+    std::vector<std::string> cells{name};
+    for (OrgKind org : kPaperOrgs) {
+      cells.push_back(format_fixed(row.at(org), 2));
+    }
+    table.add_row(std::move(cells));
+  };
+  for (Metric metric :
+       {Metric::kWriteTime, Metric::kReadTime, Metric::kFileSize}) {
+    add(to_string(metric), scores.per_metric.at(metric));
+  }
+  add("Scores (overall)", scores.overall);
+  std::fputs(table.str().c_str(), stdout);
+
+  std::printf("\npaper:            0.76    0.34     0.36     0.50   0.48\n");
+  std::printf("checks: best=%s %s; COO worst %s; GCSR++ within 0.15 of "
+              "LINEAR %s\n",
+              to_string(scores.best()).c_str(),
+              scores.best() == OrgKind::kLinear ||
+                      scores.best() == OrgKind::kGcsr
+                  ? "OK"
+                  : "UNEXPECTED",
+              scores.overall.at(OrgKind::kCoo) >=
+                      scores.overall.at(OrgKind::kLinear)
+                  ? "OK"
+                  : "UNEXPECTED",
+              std::abs(scores.overall.at(OrgKind::kGcsr) -
+                       scores.overall.at(OrgKind::kLinear)) < 0.15
+                  ? "OK"
+                  : "UNEXPECTED");
+  bench::emit_csv(table, "table4_scores");
+  return bench::any_unverified(measurements) ? 1 : 0;
+}

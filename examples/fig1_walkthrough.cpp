@@ -1,0 +1,132 @@
+// Reproduces Fig. 1 of the paper: the five example points of a 3x3x3
+// sparse tensor represented in every organization, with the internal
+// structures printed.
+//
+// Note: the paper's printed figure is internally inconsistent (its row_ptr
+// does not match its own row indices — see DESIGN.md); the structures below
+// follow Algorithms 1 and 2 exactly.
+#include <cstdio>
+
+#include "artsparse.hpp"
+
+namespace {
+
+using namespace artsparse;
+
+void print_vec(const char* label, std::span<const index_t> v) {
+  std::printf("  %-10s", label);
+  for (index_t x : v) std::printf(" %llu", static_cast<unsigned long long>(x));
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const Shape shape{3, 3, 3};
+  CoordBuffer coords(3);
+  coords.append({0, 0, 1});
+  coords.append({0, 1, 1});
+  coords.append({0, 1, 2});
+  coords.append({2, 2, 1});
+  coords.append({2, 2, 2});
+  const std::vector<value_t> values{1, 2, 3, 4, 5};  // v1..v5
+
+  std::printf("Fig. 1 example: 3x3x3 tensor, points ");
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    const auto p = coords.point(i);
+    std::printf("(%llu,%llu,%llu) ", static_cast<unsigned long long>(p[0]),
+                static_cast<unsigned long long>(p[1]),
+                static_cast<unsigned long long>(p[2]));
+  }
+  std::printf("\n\n");
+
+  {
+    std::printf("(a) COO — coordinates stored verbatim, O(n*d) words\n");
+    CooFormat coo;
+    coo.build(coords, shape);
+    for (std::size_t i = 0; i < coords.size(); ++i) {
+      const auto p = coo.coords().point(i);
+      std::printf("  (%llu, %llu, %llu) -> v%zu\n",
+                  static_cast<unsigned long long>(p[0]),
+                  static_cast<unsigned long long>(p[1]),
+                  static_cast<unsigned long long>(p[2]), i + 1);
+    }
+    std::printf("  index bytes: %zu\n\n", coo.index_bytes());
+  }
+
+  {
+    std::printf("(a) LINEAR — row-major addresses, O(n) words\n");
+    LinearFormat linear;
+    linear.build(coords, shape);
+    print_vec("addresses:", linear.addresses());
+    std::printf("  index bytes: %zu\n\n", linear.index_bytes());
+  }
+
+  {
+    std::printf("(b) GCSR++ — 2-D mapping over the local boundary "
+                "[0..2, 0..2, 1..2] (local shape 3x3x2 -> 2x9)\n");
+    GcsrFormat gcsr;
+    gcsr.build(coords, shape);
+    std::printf("  2-D shape: %llu x %llu\n",
+                static_cast<unsigned long long>(gcsr.rows()),
+                static_cast<unsigned long long>(gcsr.cols()));
+    print_vec("row_ptr:", gcsr.row_ptr());
+    print_vec("col_ind:", gcsr.col_ind());
+    std::printf("  index bytes: %zu\n\n", gcsr.index_bytes());
+  }
+
+  {
+    std::printf("(c) GCSC++ — same mapping, smallest extent as columns "
+                "(9x2), sorted by column\n");
+    GcscFormat gcsc;
+    gcsc.build(coords, shape);
+    std::printf("  2-D shape: %llu x %llu\n",
+                static_cast<unsigned long long>(gcsc.rows()),
+                static_cast<unsigned long long>(gcsc.cols()));
+    print_vec("col_ptr:", gcsc.col_ptr());
+    print_vec("row_ind:", gcsc.row_ind());
+    std::printf("  index bytes: %zu\n\n", gcsc.index_bytes());
+  }
+
+  {
+    std::printf("(d) CSF — fiber tree, dimensions reordered ascending by "
+                "local extent\n");
+    CsfFormat csf;
+    csf.build(coords, shape);
+    std::printf("  dim order:");
+    for (std::size_t d : csf.dim_order()) std::printf(" %zu", d);
+    std::printf("\n");
+    print_vec("nfibs:", csf.nfibs());
+    for (std::size_t level = 0; level < csf.fids().size(); ++level) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "fids[%zu]:", level);
+      print_vec(label, csf.fids()[level]);
+    }
+    for (std::size_t level = 0; level < csf.fptr().size(); ++level) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "fptr[%zu]:", level);
+      print_vec(label, csf.fptr()[level]);
+    }
+    std::printf("  index bytes: %zu\n\n", csf.index_bytes());
+  }
+
+  // Cross-check: every organization resolves every point to its value.
+  std::printf("cross-check: ");
+  for (OrgKind org : kPaperOrgs) {
+    auto format = make_format(org);
+    const auto map = format->build(coords, shape);
+    std::vector<value_t> reorganized(values.size());
+    for (std::size_t i = 0; i < map.size(); ++i) {
+      reorganized[map[i]] = values[i];
+    }
+    for (std::size_t i = 0; i < coords.size(); ++i) {
+      const std::size_t slot = format->lookup(coords.point(i));
+      if (slot == kNotFound || reorganized[slot] != values[i]) {
+        std::printf("FAILED (%s)\n", to_string(org).c_str());
+        return 1;
+      }
+    }
+  }
+  std::printf("all five organizations agree\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Renders Fig. 2's three sparsity patterns (TSP, GSP, MSP) as ASCII art on
+// a small 2-D tensor, and prints each pattern's measured density and
+// sparsity profile.
+#include <cstdio>
+#include <string>
+
+#include "artsparse.hpp"
+
+namespace {
+
+using namespace artsparse;
+
+void render(const char* title, const CoordBuffer& cells, const Shape& shape) {
+  const auto rows = static_cast<std::size_t>(shape.extent(0));
+  const auto cols = static_cast<std::size_t>(shape.extent(1));
+  std::vector<std::string> canvas(rows, std::string(cols, '.'));
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    canvas[cells.at(i, 0)][cells.at(i, 1)] = '#';
+  }
+  const double density = static_cast<double>(cells.size()) /
+                         static_cast<double>(shape.element_count());
+  std::printf("%s — %zu points, density %.2f%%\n", title, cells.size(),
+              density * 100.0);
+  for (const auto& line : canvas) {
+    std::printf("  %s\n", line.c_str());
+  }
+
+  const SparsityProfile profile = profile_sparsity(cells, shape);
+  std::printf("  profile: banded %.0f%%, clustered %.0f%%\n\n",
+              profile.banded_fraction * 100.0,
+              profile.cluster_fraction * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  const Shape shape{40, 72};
+
+  // TSP: values concentrated along the (generalized) diagonal band —
+  // one-hot encodings, stencil matrices.
+  render("TSP (tridiagonal, band length 9)",
+         generate_tsp(shape, TspConfig{4}), shape);
+
+  // GSP: points at random coordinates — graph adjacency, tabular data.
+  render("GSP (random, fill 3%)", generate_gsp(shape, GspConfig{0.03}, 7),
+         shape);
+
+  // MSP: sparse background plus a contiguous dense region — LCLS-II-style
+  // experimental data.
+  render("MSP (background 1%, dense region at (m/3) of size (m/3))",
+         generate_msp(shape, MspConfig{0.01, 0.9}, 7), shape);
+
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Tensor-algebra example: the access patterns that motivate the storage
+// organizations (paper Related Work: CSR/CSC for SpMV, CSF for SPLATT's
+// MTTKRP). Builds one sparse matrix and one sparse 3-D tensor, runs SpMV,
+// MTTKRP, and a TTV contraction in every organization, and cross-checks
+// the results.
+#include <cmath>
+#include <cstdio>
+
+#include "artsparse.hpp"
+
+int main() {
+  using namespace artsparse;
+
+  // 2-D: SpMV over a ~1% random matrix.
+  const Shape mat_shape{2048, 2048};
+  const SparseDataset mat = make_dataset(mat_shape, GspConfig{0.01}, 11);
+  std::vector<value_t> x(2048);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(0.01 * static_cast<double>(i));
+  }
+
+  std::printf("SpMV: %s matrix, %zu nnz\n", mat_shape.to_string().c_str(),
+              mat.point_count());
+  std::vector<value_t> reference;
+  for (OrgKind org : kPaperOrgs) {
+    const SparseTensor A(mat, org);
+    WallTimer timer;
+    const std::vector<value_t> y = spmv(A, x);
+    const double elapsed = timer.seconds();
+    double checksum = 0.0;
+    for (value_t v : y) checksum += v;
+    std::printf("  %-8s %.4fs  checksum %.6e\n", to_string(org).c_str(),
+                elapsed, checksum);
+    if (reference.empty()) {
+      reference = y;
+    } else {
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        if (std::abs(y[i] - reference[i]) > 1e-9) {
+          std::printf("MISMATCH at row %zu\n", i);
+          return 1;
+        }
+      }
+    }
+  }
+
+  // 3-D: MTTKRP (the CP-decomposition workhorse) over a random cube.
+  const Shape cube_shape{128, 128, 128};
+  const SparseDataset cube = make_dataset(cube_shape, GspConfig{0.005}, 13);
+  constexpr std::size_t kRank = 16;
+  DenseMatrix B(128, kRank);
+  DenseMatrix C(128, kRank);
+  for (std::size_t r = 0; r < 128; ++r) {
+    for (std::size_t c = 0; c < kRank; ++c) {
+      B.at(r, c) = 1.0 / (1.0 + static_cast<double>(r + c));
+      C.at(r, c) = std::cos(0.1 * static_cast<double>(r * c));
+    }
+  }
+  std::printf("\nMTTKRP: %s tensor, %zu nnz, rank %zu\n",
+              cube_shape.to_string().c_str(), cube.point_count(), kRank);
+  for (OrgKind org : {OrgKind::kCsf, OrgKind::kGcsr, OrgKind::kCoo}) {
+    const SparseTensor X(cube, org);
+    WallTimer timer;
+    const DenseMatrix M = mttkrp(X, B, C, /*mode=*/0);
+    double checksum = 0.0;
+    for (value_t v : M.data()) checksum += v;
+    std::printf("  %-8s %.4fs  checksum %.6e\n", to_string(org).c_str(),
+                timer.seconds(), checksum);
+  }
+
+  // TTV: contract the cube's last mode down to a sparse matrix.
+  const SparseTensor X(cube, OrgKind::kCsf);
+  std::vector<value_t> v(128, 1.0);
+  const auto [coords, values] = ttv(X, v, /*mode=*/2);
+  std::printf("\nTTV over mode 2: %zu nnz in the contracted %s matrix, "
+              "|X|_F^2 = %.3e\n",
+              coords.size(), Shape{128, 128}.to_string().c_str(),
+              norm_squared(X));
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "advisor/profile.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "core/box.hpp"
+#include "core/error.hpp"
+
+namespace artsparse {
+
+std::size_t SparsityProfile::csf_index_words() const {
+  // fids: one word per node per level; fptr: nodes + 1 words per non-leaf
+  // level; nfibs: one word per level.
+  std::size_t words = csf_level_nodes.size();
+  for (std::size_t level = 0; level < csf_level_nodes.size(); ++level) {
+    words += csf_level_nodes[level];
+    if (level + 1 < csf_level_nodes.size()) {
+      words += csf_level_nodes[level] + 1;
+    }
+  }
+  return words;
+}
+
+std::string SparsityProfile::to_string() const {
+  std::ostringstream out;
+  out << "SparsityProfile{n=" << point_count << ", rank=" << rank
+      << ", density=" << density << ", banded=" << banded_fraction
+      << ", clustered=" << cluster_fraction << ", csf_nodes=[";
+  for (std::size_t i = 0; i < csf_level_nodes.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << csf_level_nodes[i];
+  }
+  out << "]}";
+  return out.str();
+}
+
+SparsityProfile profile_sparsity(const CoordBuffer& coords,
+                                 const Shape& shape) {
+  detail::require(coords.rank() == shape.rank(),
+                  "coordinate rank does not match shape rank");
+  SparsityProfile profile;
+  profile.rank = shape.rank();
+  profile.point_count = coords.size();
+  if (shape.element_count() > 0) {
+    profile.density = static_cast<double>(coords.size()) /
+                      static_cast<double>(shape.element_count());
+  }
+  if (coords.empty()) {
+    profile.min_extent = shape.rank() == 0 ? 0 : shape.min_extent();
+    return profile;
+  }
+
+  const std::size_t d = shape.rank();
+  const std::size_t n = coords.size();
+  const Box box = Box::bounding(coords);
+  const Shape local = box.shape();
+  profile.min_extent = local.min_extent();
+
+  // CSF dimension order: ascending local extent.
+  std::vector<std::size_t> dim_order(d);
+  std::iota(dim_order.begin(), dim_order.end(), std::size_t{0});
+  std::stable_sort(dim_order.begin(), dim_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return local.extent(a) < local.extent(b);
+                   });
+
+  // Distinct values per dimension (in CSF order).
+  profile.distinct_per_dim.resize(d);
+  for (std::size_t level = 0; level < d; ++level) {
+    std::set<index_t> distinct;
+    for (std::size_t i = 0; i < n; ++i) {
+      distinct.insert(coords.at(i, dim_order[level]));
+    }
+    profile.distinct_per_dim[level] = distinct.size();
+  }
+
+  // CSF level node counts: sort lexicographically in CSF order, count
+  // distinct prefixes per level.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     for (std::size_t level = 0; level < d; ++level) {
+                       const index_t ca = coords.at(a, dim_order[level]);
+                       const index_t cb = coords.at(b, dim_order[level]);
+                       if (ca != cb) return ca < cb;
+                     }
+                     return false;
+                   });
+  profile.csf_level_nodes.assign(d, 0);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    std::size_t first_diff = 0;
+    if (rank != 0) {
+      const std::size_t prev = order[rank - 1];
+      const std::size_t cur = order[rank];
+      while (first_diff < d && coords.at(cur, dim_order[first_diff]) ==
+                                   coords.at(prev, dim_order[first_diff])) {
+        ++first_diff;
+      }
+      if (first_diff == d) first_diff = d - 1;  // duplicate point
+    }
+    for (std::size_t level = first_diff; level < d; ++level) {
+      ++profile.csf_level_nodes[level];
+    }
+  }
+
+  // Banded fraction.
+  std::size_t banded = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto p = coords.point(i);
+    const auto [lo, hi] = std::minmax_element(p.begin(), p.end());
+    if (*hi - *lo <= profile.band_half_width) ++banded;
+  }
+  profile.banded_fraction = static_cast<double>(banded) /
+                            static_cast<double>(n);
+
+  // Cluster fraction: coarse 4-bucket-per-dimension histogram, densest
+  // bucket's share of points relative to its share of cells (capped at 1).
+  constexpr std::size_t kBuckets = 4;
+  std::size_t total_buckets = 1;
+  for (std::size_t dim = 0; dim < d; ++dim) {
+    total_buckets *= kBuckets;
+  }
+  std::vector<std::size_t> histogram(total_buckets, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t bucket = 0;
+    for (std::size_t dim = 0; dim < d; ++dim) {
+      const index_t extent = shape.extent(dim);
+      const index_t c = coords.at(i, dim);
+      const auto slot = static_cast<std::size_t>(
+          std::min<index_t>(kBuckets - 1, c * kBuckets / extent));
+      bucket = bucket * kBuckets + slot;
+    }
+    ++histogram[bucket];
+  }
+  const std::size_t max_bucket =
+      *std::max_element(histogram.begin(), histogram.end());
+  profile.cluster_fraction =
+      static_cast<double>(max_bucket) / static_cast<double>(n);
+
+  return profile;
+}
+
+}  // namespace artsparse

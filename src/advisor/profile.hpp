@@ -1,0 +1,53 @@
+// Sparsity characterization — the inputs to automatic organization
+// selection, the paper's stated future work ("explore automatic strategies
+// for selecting different organization for applications based on the
+// characterization of sparsity in their data").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/coords.hpp"
+#include "core/shape.hpp"
+
+namespace artsparse {
+
+/// Summary statistics of a sparse tensor's coordinate distribution.
+struct SparsityProfile {
+  std::size_t rank = 0;
+  std::size_t point_count = 0;  ///< n
+  index_t min_extent = 0;       ///< min{m_1..m_d} of the bounding box
+  double density = 0.0;         ///< n / cells of the dense shape
+
+  /// Distinct coordinate values per dimension (ascending-extent order, the
+  /// order CSF would use).
+  std::vector<std::size_t> distinct_per_dim;
+
+  /// CSF tree node counts per level for the ascending-extent dimension
+  /// order — exactly nfibs of Algorithm 2, computed without materializing
+  /// fids/fptr. Sum/(n*d) measures prefix duplication: near 1/d means a
+  /// maximally shared (compact) tree, near 1 means no sharing.
+  std::vector<std::size_t> csf_level_nodes;
+
+  /// Fraction of points whose coordinates all lie within a small band of
+  /// each other (max - min <= band_half_width); high values indicate
+  /// TSP-like diagonal structure.
+  double banded_fraction = 0.0;
+  index_t band_half_width = 4;
+
+  /// Fraction of points inside the densest cell of a coarse 4^d histogram;
+  /// high values indicate MSP-like clustering.
+  double cluster_fraction = 0.0;
+
+  /// Expected CSF index words given the measured sharing (sum of level
+  /// node counts plus pointer arrays).
+  std::size_t csf_index_words() const;
+
+  std::string to_string() const;
+};
+
+/// Profiles `coords` against `shape`. O(n log n) (one CSF-order sort).
+SparsityProfile profile_sparsity(const CoordBuffer& coords,
+                                 const Shape& shape);
+
+}  // namespace artsparse

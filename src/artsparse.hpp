@@ -1,0 +1,48 @@
+// Umbrella header: the full public API of ArtSparse.
+//
+// ArtSparse reproduces "The Art of Sparsity: Mastering High-Dimensional
+// Tensor Storage" (Dong, Wu, Byna): five storage organizations for sparse
+// tensors (COO, LINEAR, GCSR++, GCSC++, CSF), a fragment-based storage
+// system, synthetic sparsity-pattern generators, the paper's benchmark
+// harness, and an automatic organization advisor.
+#pragma once
+
+#include "advisor/advisor.hpp"
+#include "advisor/profile.hpp"
+#include "benchlib/harness.hpp"
+#include "benchlib/report.hpp"
+#include "benchlib/scoring.hpp"
+#include "benchlib/workload.hpp"
+#include "core/box.hpp"
+#include "core/coords.hpp"
+#include "core/error.hpp"
+#include "core/linearize.hpp"
+#include "core/reshape.hpp"
+#include "core/rng.hpp"
+#include "core/shape.hpp"
+#include "core/sort.hpp"
+#include "core/timer.hpp"
+#include "core/types.hpp"
+#include "formats/bcsr.hpp"
+#include "formats/coo.hpp"
+#include "formats/csf.hpp"
+#include "formats/format.hpp"
+#include "formats/gcsc.hpp"
+#include "formats/gcsr.hpp"
+#include "formats/linear.hpp"
+#include "formats/registry.hpp"
+#include "formats/sorted_coo.hpp"
+#include "ops/dense.hpp"
+#include "ops/kernels.hpp"
+#include "ops/sparse_tensor.hpp"
+#include "patterns/calibrate.hpp"
+#include "patterns/dataset.hpp"
+#include "patterns/pattern.hpp"
+#include "storage/compress/codec.hpp"
+#include "storage/file_io.hpp"
+#include "storage/fragment.hpp"
+#include "storage/fragment_store.hpp"
+#include "storage/serializer.hpp"
+#include "storage/throttle.hpp"
+#include "tiles/tile_grid.hpp"
+#include "tiles/tiled_store.hpp"

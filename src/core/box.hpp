@@ -1,0 +1,72 @@
+// Inclusive axis-aligned bounding boxes ("local boundary" in the paper's
+// algorithms). Used to derive per-fragment shapes, to decide which fragments
+// overlap a read query, and to describe the read regions of Algorithm 3.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/shape.hpp"
+#include "core/types.hpp"
+
+namespace artsparse {
+
+class CoordBuffer;  // coords.hpp
+
+/// [lo, hi] inclusive on every axis. An empty box has rank 0.
+class Box {
+ public:
+  Box() = default;
+  Box(std::vector<index_t> lo, std::vector<index_t> hi);
+
+  /// Box covering a whole dense shape: [0, extent-1] per dimension.
+  static Box whole(const Shape& shape);
+
+  /// Box from a region origin + extent (the paper's read regions are given
+  /// as start (m/2, ...) and size (m/10, ...)).
+  static Box from_origin_size(std::span<const index_t> origin,
+                              std::span<const index_t> size);
+
+  /// Tight bounding box of a coordinate buffer ("extract local boundary from
+  /// b_coor", Algorithms 1 and 2). Throws FormatError on an empty buffer.
+  static Box bounding(const CoordBuffer& coords);
+
+  std::size_t rank() const { return lo_.size(); }
+  bool empty() const { return lo_.empty(); }
+
+  index_t lo(std::size_t dim) const;
+  index_t hi(std::size_t dim) const;
+  std::span<const index_t> lo() const { return lo_; }
+  std::span<const index_t> hi() const { return hi_; }
+
+  /// Dense shape of the box: extent hi-lo+1 per dimension.
+  Shape shape() const;
+
+  /// Number of cells inside the box.
+  index_t cell_count() const;
+
+  bool contains(std::span<const index_t> point) const;
+  bool contains(const Box& other) const;
+  bool overlaps(const Box& other) const;
+
+  /// Intersection; returns an empty box when disjoint.
+  Box intersect(const Box& other) const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Box& a, const Box& b) {
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+
+ private:
+  std::vector<index_t> lo_;
+  std::vector<index_t> hi_;
+};
+
+/// Enumerates every cell of `box` in row-major order, appending each
+/// coordinate to `out`. Used to materialize the read queries of Algorithm 3
+/// (the benchmark reads every cell of a contiguous region).
+void enumerate_cells(const Box& box, CoordBuffer& out);
+
+}  // namespace artsparse

@@ -1,0 +1,46 @@
+#include "core/coords.hpp"
+
+#include "core/error.hpp"
+
+namespace artsparse {
+
+CoordBuffer::CoordBuffer(std::size_t rank, std::vector<index_t> flat)
+    : rank_(rank), flat_(std::move(flat)) {
+  detail::require(rank_ > 0, "CoordBuffer rank must be positive");
+  detail::require(flat_.size() % rank_ == 0,
+                  "flat coordinate buffer length is not a multiple of rank");
+}
+
+std::span<const index_t> CoordBuffer::point(std::size_t i) const {
+  detail::require(i < size(), "CoordBuffer point index out of range");
+  return {flat_.data() + i * rank_, rank_};
+}
+
+index_t CoordBuffer::at(std::size_t i, std::size_t dim) const {
+  detail::require(i < size() && dim < rank_,
+                  "CoordBuffer access out of range");
+  return flat_[i * rank_ + dim];
+}
+
+void CoordBuffer::append(std::span<const index_t> point) {
+  detail::require(point.size() == rank_,
+                  "appended point rank does not match buffer rank");
+  flat_.insert(flat_.end(), point.begin(), point.end());
+}
+
+void CoordBuffer::append(std::initializer_list<index_t> point) {
+  append(std::span<const index_t>(point.begin(), point.size()));
+}
+
+CoordBuffer CoordBuffer::permuted(std::span<const std::size_t> perm) const {
+  detail::require(perm.size() == size(),
+                  "permutation length does not match point count");
+  CoordBuffer out(rank_);
+  out.reserve(size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    out.append(point(perm[i]));
+  }
+  return out;
+}
+
+}  // namespace artsparse

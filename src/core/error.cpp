@@ -1,0 +1,21 @@
+#include "core/error.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+namespace artsparse {
+
+IoError IoError::from_errno(const std::string& op, const std::string& path) {
+  const int err = errno;
+  return IoError(op + " '" + path + "': " + std::strerror(err));
+}
+
+namespace detail {
+void require(bool condition, const std::string& message) {
+  if (!condition) {
+    throw FormatError(message);
+  }
+}
+}  // namespace detail
+
+}  // namespace artsparse

@@ -1,0 +1,45 @@
+// Exception hierarchy. All library failures surface as artsparse::Error (or a
+// subclass) carrying a contextual message; std:: exceptions never escape the
+// public API except std::bad_alloc.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace artsparse {
+
+/// Base class for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Arithmetic overflow while linearizing coordinates or sizing buffers.
+/// The paper flags linear-address overflow as the main risk of the LINEAR
+/// organization (Section II-B); we detect it instead of wrapping silently.
+class OverflowError : public Error {
+ public:
+  explicit OverflowError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed input: shape/coordinate mismatches, bad serialized payloads,
+/// unknown organization names, invariant violations on deserialize.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+/// Filesystem / IO failures, carrying errno context.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+  /// Builds an IoError from the current errno.
+  static IoError from_errno(const std::string& op, const std::string& path);
+};
+
+namespace detail {
+/// Throws FormatError with `message` unless `condition` holds.
+void require(bool condition, const std::string& message);
+}  // namespace detail
+
+}  // namespace artsparse

@@ -1,0 +1,82 @@
+#include "core/linearize.hpp"
+
+#include "core/error.hpp"
+#include "core/parallel.hpp"
+
+namespace artsparse {
+
+index_t linearize(std::span<const index_t> point, const Shape& shape) {
+  detail::require(point.size() == shape.rank(),
+                  "point rank does not match shape rank");
+  const auto strides = shape.strides();
+  index_t address = 0;
+  for (std::size_t i = 0; i < point.size(); ++i) {
+    detail::require(point[i] < shape.extent(i),
+                    "coordinate outside tensor shape");
+    address += point[i] * strides[i];
+  }
+  return address;
+}
+
+void delinearize(index_t address, const Shape& shape,
+                 std::span<index_t> out) {
+  detail::require(out.size() == shape.rank(),
+                  "output rank does not match shape rank");
+  detail::require(address < shape.element_count(),
+                  "linear address outside tensor shape");
+  const auto strides = shape.strides();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = address / strides[i];
+    address %= strides[i];
+  }
+}
+
+index_t linearize_col_major(std::span<const index_t> point,
+                            const Shape& shape) {
+  detail::require(point.size() == shape.rank(),
+                  "point rank does not match shape rank");
+  index_t address = 0;
+  index_t stride = 1;
+  for (std::size_t i = 0; i < point.size(); ++i) {
+    detail::require(point[i] < shape.extent(i),
+                    "coordinate outside tensor shape");
+    address += point[i] * stride;
+    stride *= shape.extent(i);
+  }
+  return address;
+}
+
+std::vector<index_t> linearize_all(const CoordBuffer& coords,
+                                   const Shape& shape) {
+  std::vector<index_t> addresses(coords.size());
+  // Each point's address is independent: chunked across workers for large
+  // batches, inline below the grain size.
+  parallel_transform(coords.size(), addresses, [&](std::size_t i) {
+    return linearize(coords.point(i), shape);
+  });
+  return addresses;
+}
+
+index_t linearize_local(std::span<const index_t> point, const Box& box) {
+  detail::require(point.size() == box.rank(),
+                  "point rank does not match box rank");
+  detail::require(box.contains(point), "point outside local bounding box");
+  const Shape local = box.shape();
+  const auto strides = local.strides();
+  index_t address = 0;
+  for (std::size_t i = 0; i < point.size(); ++i) {
+    address += (point[i] - box.lo(i)) * strides[i];
+  }
+  return address;
+}
+
+void delinearize_local(index_t address, const Box& box,
+                       std::span<index_t> out) {
+  const Shape local = box.shape();
+  delinearize(address, local, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] += box.lo(i);
+  }
+}
+
+}  // namespace artsparse

@@ -1,0 +1,47 @@
+// Row-major (and column-major) linearization of coordinates — the transform
+// at the heart of the LINEAR organization (Section II-B) and of the
+// GCSR++/GCSC++ d-D -> 2-D mapping (Algorithm 1 lines 8-9).
+//
+// For a point (c_1, ..., c_d) in a tensor of extents (m_1, ..., m_d), the
+// row-major linear address is sum_i c_i * prod_{j>i} m_j.
+#pragma once
+
+#include <span>
+
+#include "core/box.hpp"
+#include "core/coords.hpp"
+#include "core/shape.hpp"
+#include "core/types.hpp"
+
+namespace artsparse {
+
+/// Row-major linear address of `point` within `shape`. Throws FormatError if
+/// the point lies outside the shape and OverflowError if the address space
+/// itself overflows (detected at Shape construction).
+index_t linearize(std::span<const index_t> point, const Shape& shape);
+
+/// Inverse of linearize(): writes the coordinates of `address` into `out`
+/// (length shape.rank()).
+void delinearize(index_t address, const Shape& shape,
+                 std::span<index_t> out);
+
+/// Column-major linear address (first dimension fastest). GCSC++'s read
+/// order is column-by-column; this is its addressing rule.
+index_t linearize_col_major(std::span<const index_t> point,
+                            const Shape& shape);
+
+/// Linearizes every point of `coords` against `shape`; returns n addresses.
+std::vector<index_t> linearize_all(const CoordBuffer& coords,
+                                   const Shape& shape);
+
+/// Block-local addressing: linearizes `point` relative to a bounding box
+/// (subtract box.lo, use the box's dense shape). This is the paper's remedy
+/// for address overflow on extremely large tensors — "use local boundary of
+/// each block to perform the transform".
+index_t linearize_local(std::span<const index_t> point, const Box& box);
+
+/// Inverse of linearize_local().
+void delinearize_local(index_t address, const Box& box,
+                       std::span<index_t> out);
+
+}  // namespace artsparse

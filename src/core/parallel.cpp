@@ -1,0 +1,58 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+
+namespace artsparse {
+
+unsigned worker_count() {
+  if (const char* env = std::getenv("ARTSPARSE_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  unsigned threads) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (threads == 0) threads = worker_count();
+  if (threads <= 1 || n < kParallelGrain) {
+    fn(begin, end);
+    return;
+  }
+
+  const std::size_t chunks = std::min<std::size_t>(threads, n);
+  const std::size_t per_chunk = (n + chunks - 1) / chunks;
+  std::vector<std::thread> workers;
+  workers.reserve(chunks);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * per_chunk;
+    const std::size_t hi = std::min(end, lo + per_chunk);
+    if (lo >= hi) break;
+    workers.emplace_back([&, lo, hi] {
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace artsparse

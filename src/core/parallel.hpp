@@ -1,0 +1,48 @@
+// Fork-join data parallelism for the hot loops (coordinate transforms,
+// batch queries). Kept deliberately simple — std::thread chunking, no work
+// stealing — because every use here is a balanced, embarrassingly parallel
+// loop over points. Results are bit-identical regardless of thread count:
+// each index writes only its own output slot.
+//
+// Thread count: ARTSPARSE_THREADS env var if set, else
+// std::thread::hardware_concurrency(). Loops below kParallelGrain elements
+// run inline (thread spawn costs more than the work).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace artsparse {
+
+/// Elements below which parallel_for runs inline on the calling thread.
+inline constexpr std::size_t kParallelGrain = 1 << 15;
+
+/// Worker count honoring ARTSPARSE_THREADS; always >= 1.
+unsigned worker_count();
+
+/// Runs fn(begin, end) over disjoint chunks of [begin, end) across
+/// `threads` workers (0 = worker_count()). Blocks until every chunk is
+/// done. Exceptions from workers are rethrown on the caller (first one
+/// wins).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  unsigned threads = 0);
+
+/// Element-wise transform: out[i] = fn(i) for i in [0, n). `out` must
+/// already be sized to n.
+template <typename T, typename Fn>
+void parallel_transform(std::size_t n, std::vector<T>& out, Fn&& fn,
+                        unsigned threads = 0) {
+  parallel_for(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] = fn(i);
+        }
+      },
+      threads);
+}
+
+}  // namespace artsparse

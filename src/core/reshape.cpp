@@ -1,0 +1,103 @@
+#include "core/reshape.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace artsparse {
+
+namespace {
+
+void validate_groups(const Shape& shape, const FoldGroups& groups) {
+  std::vector<bool> seen(shape.rank(), false);
+  std::size_t covered = 0;
+  for (const auto& group : groups) {
+    detail::require(!group.empty(), "fold group must not be empty");
+    for (std::size_t dim : group) {
+      detail::require(dim < shape.rank(), "fold group dimension OOB");
+      detail::require(!seen[dim], "fold groups overlap");
+      seen[dim] = true;
+      ++covered;
+    }
+  }
+  detail::require(covered == shape.rank(),
+                  "fold groups must cover every dimension");
+}
+
+}  // namespace
+
+FoldGroups gcsr_fold(const Shape& shape) {
+  detail::require(shape.rank() >= 1, "fold of empty shape");
+  const std::size_t min_dim = shape.min_extent_dim();
+  FoldGroups groups(2);
+  groups[0] = {min_dim};
+  for (std::size_t dim = 0; dim < shape.rank(); ++dim) {
+    if (dim != min_dim) groups[1].push_back(dim);
+  }
+  if (groups[1].empty()) groups.pop_back();  // rank-1 degenerates
+  return groups;
+}
+
+Shape fold_shape(const Shape& shape, const FoldGroups& groups) {
+  validate_groups(shape, groups);
+  std::vector<index_t> extents;
+  extents.reserve(groups.size());
+  for (const auto& group : groups) {
+    index_t extent = 1;
+    for (std::size_t dim : group) {
+      detail::require(
+          shape.extent(dim) == 0 ||
+              extent <= std::numeric_limits<index_t>::max() /
+                            shape.extent(dim),
+          "folded extent overflows");
+      extent *= shape.extent(dim);
+    }
+    extents.push_back(extent);
+  }
+  return Shape(std::move(extents));
+}
+
+CoordBuffer fold_coords(const CoordBuffer& coords, const Shape& shape,
+                        const FoldGroups& groups) {
+  detail::require(coords.rank() == shape.rank(),
+                  "coordinate rank does not match shape rank");
+  validate_groups(shape, groups);
+  CoordBuffer out(groups.size());
+  out.reserve(coords.size());
+  std::vector<index_t> folded(groups.size());
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    const auto p = coords.point(i);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      index_t address = 0;
+      for (std::size_t dim : groups[g]) {
+        detail::require(p[dim] < shape.extent(dim),
+                        "coordinate outside tensor shape");
+        address = address * shape.extent(dim) + p[dim];
+      }
+      folded[g] = address;
+    }
+    out.append(folded);
+  }
+  return out;
+}
+
+void unfold_point(std::span<const index_t> folded, const Shape& shape,
+                  const FoldGroups& groups, std::span<index_t> out) {
+  detail::require(folded.size() == groups.size(),
+                  "folded point rank does not match group count");
+  detail::require(out.size() == shape.rank(),
+                  "output rank does not match shape rank");
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    index_t address = folded[g];
+    for (std::size_t k = groups[g].size(); k-- > 0;) {
+      const std::size_t dim = groups[g][k];
+      out[dim] = address % shape.extent(dim);
+      address /= shape.extent(dim);
+    }
+    detail::require(address == 0, "folded coordinate outside group extent");
+  }
+}
+
+}  // namespace artsparse

@@ -1,0 +1,43 @@
+// Dimension folding: lossless transformation of a d-dimensional sparse
+// tensor into a lower-dimensional one by merging groups of adjacent
+// dimensions (row-major within each group).
+//
+// This is the paper's finding (2) — "sparse high-dimensional tensor data
+// can be transformed into lower-dimensional tensors, facilitating
+// efficient storage and access" — exposed as a first-class operation
+// instead of being buried inside GCSR++/GCSC++ (whose 2-D mapping is the
+// special case fold({{0}, {1, ..., d-1}}) up to dimension choice).
+#pragma once
+
+#include <vector>
+
+#include "core/coords.hpp"
+#include "core/shape.hpp"
+
+namespace artsparse {
+
+/// A partition of the original dimensions into ordered groups; each group
+/// becomes one dimension of the folded tensor. Groups must cover every
+/// dimension exactly once; within a group, dimensions combine row-major in
+/// the listed order.
+using FoldGroups = std::vector<std::vector<std::size_t>>;
+
+/// The canonical 2-D fold GCSR++ uses: the smallest extent alone, all
+/// remaining dimensions (ascending) merged.
+FoldGroups gcsr_fold(const Shape& shape);
+
+/// Shape of the folded tensor. Throws FormatError when `groups` is not a
+/// partition of [0, shape.rank()) or a group's merged extent overflows.
+Shape fold_shape(const Shape& shape, const FoldGroups& groups);
+
+/// Folds every coordinate. Point order is preserved, so value buffers need
+/// no reorganization.
+CoordBuffer fold_coords(const CoordBuffer& coords, const Shape& shape,
+                        const FoldGroups& groups);
+
+/// Inverse of fold_coords for a single point: reconstructs the original
+/// d-dimensional coordinates from folded ones.
+void unfold_point(std::span<const index_t> folded, const Shape& shape,
+                  const FoldGroups& groups, std::span<index_t> out);
+
+}  // namespace artsparse

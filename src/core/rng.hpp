@@ -1,0 +1,48 @@
+// Deterministic pseudo-random generators for the synthetic pattern
+// generators. Seeded runs must reproduce bit-identical datasets across
+// platforms, so we implement SplitMix64 and xoshiro256** ourselves instead
+// of relying on std::mt19937 distributions (whose outputs are unspecified
+// for some distribution types).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace artsparse {
+
+/// SplitMix64: used to expand a single seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit generator.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double next_double();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire reduction).
+  std::uint64_t next_below(std::uint64_t bound);
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace artsparse

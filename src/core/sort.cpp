@@ -1,0 +1,39 @@
+#include "core/sort.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace artsparse {
+
+std::vector<std::size_t> sort_permutation(std::span<const index_t> keys) {
+  std::vector<std::size_t> perm(keys.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return keys[a] < keys[b];
+                   });
+  return perm;
+}
+
+std::vector<std::size_t> invert_permutation(
+    std::span<const std::size_t> perm) {
+  std::vector<std::size_t> inverse(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    detail::require(perm[i] < perm.size(), "permutation entry out of range");
+    inverse[perm[i]] = i;
+  }
+  return inverse;
+}
+
+bool is_permutation_of_iota(std::span<const std::size_t> perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (std::size_t p : perm) {
+    if (p >= perm.size() || seen[p]) return false;
+    seen[p] = true;
+  }
+  return true;
+}
+
+}  // namespace artsparse

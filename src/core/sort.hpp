@@ -1,0 +1,40 @@
+// Permutation-producing sorts. Every organization that sorts (GCSR++,
+// GCSC++, CSF, sorted COO) must report where each input point moved so the
+// caller can reorganize the value buffer to match (the `map` vector of
+// Algorithms 1-3).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace artsparse {
+
+/// Stable-sorts indices [0, keys.size()) by ascending key and returns the
+/// permutation: result[i] is the original index of the element now at rank i.
+std::vector<std::size_t> sort_permutation(std::span<const index_t> keys);
+
+/// Converts a rank->original permutation (as returned by sort_permutation)
+/// into the paper's `map` vector: map[original] == new position. The WRITE
+/// function uses this to reorganize b_data (Algorithm 3 line 5).
+std::vector<std::size_t> invert_permutation(
+    std::span<const std::size_t> perm);
+
+/// Gathers values into sorted order: out[i] = values[perm[i]].
+template <typename T>
+std::vector<T> apply_permutation(std::span<const T> values,
+                                 std::span<const std::size_t> perm) {
+  std::vector<T> out;
+  out.reserve(values.size());
+  for (std::size_t p : perm) {
+    out.push_back(values[p]);
+  }
+  return out;
+}
+
+/// True when perm is a permutation of [0, perm.size()).
+bool is_permutation_of_iota(std::span<const std::size_t> perm);
+
+}  // namespace artsparse

@@ -1,0 +1,47 @@
+// Monotonic wall-clock timing plus the Build/Reorg/Write/Others breakdown
+// the paper reports in Table III.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace artsparse {
+
+/// Steady-clock stopwatch; seconds() reads elapsed time without stopping.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Per-phase write timing, mirroring Table III's rows. All values in
+/// seconds; `others` absorbs metadata and buffer-concatenation work.
+struct WriteBreakdown {
+  double build = 0.0;   ///< organization construction (BUILD function)
+  double reorg = 0.0;   ///< value reorganization via the `map` vector
+  double write = 0.0;   ///< fragment write to the storage device
+  double others = 0.0;  ///< header encode, buffer concat, bookkeeping
+
+  double total() const { return build + reorg + write + others; }
+};
+
+/// Per-phase read timing for Algorithm 3's READ function.
+struct ReadBreakdown {
+  double discover = 0.0;  ///< find fragments overlapping the query
+  double extract = 0.0;   ///< read fragment payloads, decode the index
+  double query = 0.0;     ///< organization-specific existence search
+  double merge = 0.0;     ///< sort results by linear address + populate
+
+  double total() const { return discover + extract + query + merge; }
+};
+
+}  // namespace artsparse

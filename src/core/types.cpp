@@ -1,0 +1,36 @@
+#include "core/types.hpp"
+
+#include "core/error.hpp"
+
+namespace artsparse {
+
+std::string to_string(OrgKind kind) {
+  switch (kind) {
+    case OrgKind::kCoo:
+      return "COO";
+    case OrgKind::kLinear:
+      return "LINEAR";
+    case OrgKind::kGcsr:
+      return "GCSR++";
+    case OrgKind::kGcsc:
+      return "GCSC++";
+    case OrgKind::kCsf:
+      return "CSF";
+    case OrgKind::kSortedCoo:
+      return "SortedCOO";
+    case OrgKind::kBcsr:
+      return "BCSR";
+  }
+  throw FormatError("unknown OrgKind value");
+}
+
+OrgKind org_kind_from_string(const std::string& name) {
+  for (OrgKind kind :
+       {OrgKind::kCoo, OrgKind::kLinear, OrgKind::kGcsr, OrgKind::kGcsc,
+        OrgKind::kCsf, OrgKind::kSortedCoo, OrgKind::kBcsr}) {
+    if (to_string(kind) == name) return kind;
+  }
+  throw FormatError("unknown organization name: " + name);
+}
+
+}  // namespace artsparse

@@ -1,0 +1,60 @@
+#include "formats/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace artsparse {
+
+std::vector<std::size_t> CooFormat::build(const CoordBuffer& coords,
+                                          const Shape& shape) {
+  detail::require(coords.rank() == shape.rank(),
+                  "coordinate rank does not match shape rank");
+  shape_ = shape;
+  coords_ = coords;
+  // COO keeps input order: the map is the identity permutation.
+  std::vector<std::size_t> map(coords.size());
+  std::iota(map.begin(), map.end(), std::size_t{0});
+  return map;
+}
+
+std::size_t CooFormat::lookup(std::span<const index_t> point) const {
+  // Unsorted list: the only option is a full scan (O(n) per query).
+  const std::size_t d = coords_.rank();
+  if (point.size() != d) return kNotFound;
+  for (std::size_t i = 0; i < coords_.size(); ++i) {
+    const auto p = coords_.point(i);
+    if (std::equal(p.begin(), p.end(), point.begin())) {
+      return i;
+    }
+  }
+  return kNotFound;
+}
+
+void CooFormat::scan_box(const Box& box, CoordBuffer& points,
+                         std::vector<std::size_t>& slots) const {
+  detail::require(box.rank() == shape_.rank(),
+                  "scan box rank does not match tensor rank");
+  // Unsorted list: every stored point must be tested.
+  for (std::size_t i = 0; i < coords_.size(); ++i) {
+    const auto p = coords_.point(i);
+    if (box.contains(p)) {
+      points.append(p);
+      slots.push_back(i);
+    }
+  }
+}
+
+void CooFormat::save(BufferWriter& out) const {
+  out.put_u64_vec(shape_.extents());
+  out.put_u64(coords_.rank());
+  out.put_u64_vec(coords_.flat());
+}
+
+void CooFormat::load(BufferReader& in) {
+  shape_ = Shape(in.get_u64_vec());
+  const std::size_t rank = in.get_u64();
+  auto flat = in.get_u64_vec();
+  coords_ = rank == 0 ? CoordBuffer() : CoordBuffer(rank, std::move(flat));
+}
+
+}  // namespace artsparse

@@ -1,0 +1,221 @@
+#include "formats/csf.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/sort.hpp"
+
+namespace artsparse {
+
+std::vector<std::size_t> CsfFormat::build(const CoordBuffer& coords,
+                                          const Shape& shape) {
+  detail::require(coords.rank() == shape.rank(),
+                  "coordinate rank does not match shape rank");
+  shape_ = shape;
+  const std::size_t d = shape.rank();
+  dim_order_.clear();
+  nfibs_.clear();
+  fids_.clear();
+  fptr_.clear();
+
+  if (coords.empty()) {
+    return {};
+  }
+
+  // Algorithm 2 lines 5-6: sort the local boundary extents ascending; the
+  // smallest dimension becomes the root level so the most coordinates get
+  // deduplicated there.
+  const Box box = Box::bounding(coords);
+  const Shape local = box.shape();
+  dim_order_.resize(d);
+  std::iota(dim_order_.begin(), dim_order_.end(), std::size_t{0});
+  std::stable_sort(dim_order_.begin(), dim_order_.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return local.extent(a) < local.extent(b);
+                   });
+
+  // Line 7: sort points lexicographically in the permuted dimension order.
+  const std::size_t n = coords.size();
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const auto pa = coords.point(a);
+                     const auto pb = coords.point(b);
+                     for (std::size_t level = 0; level < d; ++level) {
+                       const index_t ca = pa[dim_order_[level]];
+                       const index_t cb = pb[dim_order_[level]];
+                       if (ca != cb) return ca < cb;
+                     }
+                     return false;
+                   });
+
+  // Lines 8-18: build the tree level by level in one pass over the sorted
+  // points. A point opens a new node at every level from the first level at
+  // which it differs from its predecessor down to the leaf.
+  fids_.assign(d, {});
+  fptr_.assign(d > 0 ? d - 1 : 0, {});
+  std::span<const index_t> prev{};
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    const auto p = coords.point(perm[rank]);
+    std::size_t first_diff = 0;
+    if (rank != 0) {
+      while (first_diff < d &&
+             p[dim_order_[first_diff]] == prev[dim_order_[first_diff]]) {
+        ++first_diff;
+      }
+      // Exact duplicate coordinates still get their own leaf entry so every
+      // input point owns a distinct value slot.
+      if (first_diff == d) first_diff = d - 1;
+    }
+    for (std::size_t level = first_diff; level < d; ++level) {
+      // Record where this node's children begin before any are appended.
+      if (level + 1 < d) {
+        fptr_[level].push_back(fids_[level + 1].size());
+      }
+      fids_[level].push_back(p[dim_order_[level]]);
+    }
+    prev = p;
+  }
+  for (std::size_t level = 0; level + 1 < d; ++level) {
+    fptr_[level].push_back(fids_[level + 1].size());
+  }
+  nfibs_.resize(d);
+  for (std::size_t level = 0; level < d; ++level) {
+    nfibs_[level] = fids_[level].size();
+  }
+
+  return invert_permutation(perm);
+}
+
+std::size_t CsfFormat::lookup(std::span<const index_t> point) const {
+  const std::size_t d = shape_.rank();
+  if (point.size() != d || fids_.empty() || fids_[0].empty()) {
+    return kNotFound;
+  }
+  // Root-to-leaf descent; fiber coordinate ranges are sorted, so each level
+  // is a binary search within [lo, hi).
+  std::size_t lo = 0;
+  std::size_t hi = fids_[0].size();
+  for (std::size_t level = 0; level < d; ++level) {
+    const index_t target = point[dim_order_[level]];
+    const auto& ids = fids_[level];
+    const auto begin = ids.begin() + static_cast<std::ptrdiff_t>(lo);
+    const auto end = ids.begin() + static_cast<std::ptrdiff_t>(hi);
+    const auto it = std::lower_bound(begin, end, target);
+    if (it == end || *it != target) return kNotFound;
+    const std::size_t fi =
+        static_cast<std::size_t>(it - ids.begin());
+    if (level + 1 == d) return fi;
+    lo = fptr_[level][fi];
+    hi = fptr_[level][fi + 1];
+  }
+  return kNotFound;
+}
+
+namespace {
+
+/// Recursive subtree scan used by CsfFormat::scan_box.
+struct CsfScanner {
+  const std::vector<std::vector<index_t>>& fids;
+  const std::vector<std::vector<index_t>>& fptr;
+  const std::vector<std::size_t>& dim_order;
+  const Box& box;
+  CoordBuffer& points;
+  std::vector<std::size_t>& slots;
+  std::vector<index_t> point;
+
+  void scan(std::size_t level, std::size_t lo, std::size_t hi) {
+    const std::size_t dim = dim_order[level];
+    const auto& ids = fids[level];
+    // Fiber coordinates are sorted: restrict to [box.lo(dim), box.hi(dim)]
+    // with two binary searches, pruning whole subtrees outside the box.
+    const auto begin = ids.begin() + static_cast<std::ptrdiff_t>(lo);
+    const auto end = ids.begin() + static_cast<std::ptrdiff_t>(hi);
+    const auto first = std::lower_bound(begin, end, box.lo(dim));
+    const auto last = std::upper_bound(first, end, box.hi(dim));
+    for (auto it = first; it != last; ++it) {
+      const auto fi = static_cast<std::size_t>(it - ids.begin());
+      point[dim] = *it;
+      if (level + 1 == fids.size()) {
+        points.append(point);
+        slots.push_back(fi);
+      } else {
+        scan(level + 1, fptr[level][fi], fptr[level][fi + 1]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void CsfFormat::scan_box(const Box& box, CoordBuffer& points,
+                         std::vector<std::size_t>& slots) const {
+  detail::require(box.rank() == shape_.rank(),
+                  "scan box rank does not match tensor rank");
+  if (fids_.empty() || fids_[0].empty()) return;
+  CsfScanner scanner{fids_,  fptr_, dim_order_,
+                     box,    points, slots,
+                     std::vector<index_t>(shape_.rank(), 0)};
+  scanner.scan(0, 0, fids_[0].size());
+}
+
+std::size_t CsfFormat::index_words() const {
+  std::size_t words = nfibs_.size() + dim_order_.size();
+  for (const auto& level : fids_) words += level.size();
+  for (const auto& level : fptr_) words += level.size();
+  return words;
+}
+
+void CsfFormat::save(BufferWriter& out) const {
+  out.put_u64_vec(shape_.extents());
+  std::vector<index_t> order(dim_order_.begin(), dim_order_.end());
+  out.put_u64_vec(order);
+  out.put_u64_vec(nfibs_);
+  out.put_u64(fids_.size());
+  for (const auto& level : fids_) out.put_u64_vec(level);
+  out.put_u64(fptr_.size());
+  for (const auto& level : fptr_) out.put_u64_vec(level);
+}
+
+void CsfFormat::load(BufferReader& in) {
+  shape_ = Shape(in.get_u64_vec());
+  const auto order = in.get_u64_vec();
+  dim_order_.assign(order.begin(), order.end());
+  nfibs_ = in.get_u64_vec();
+  // Level counts come from untrusted bytes: every level costs at least a
+  // length prefix, so bound them by the remaining payload before
+  // allocating.
+  const std::uint64_t fid_levels = in.get_u64();
+  detail::require(fid_levels <= in.remaining() / sizeof(std::uint64_t),
+                  "CSF level count exceeds payload size");
+  fids_.assign(fid_levels, {});
+  for (auto& level : fids_) level = in.get_u64_vec();
+  const std::uint64_t fptr_levels = in.get_u64();
+  detail::require(fptr_levels <= in.remaining() / sizeof(std::uint64_t) + 1,
+                  "CSF fptr level count exceeds payload size");
+  fptr_.assign(fptr_levels, {});
+  for (auto& level : fptr_) level = in.get_u64_vec();
+
+  detail::require(fids_.size() == nfibs_.size(),
+                  "CSF fids/nfibs level count mismatch");
+  detail::require(fids_.empty() || fptr_.size() + 1 == fids_.size(),
+                  "CSF fptr level count mismatch");
+  for (std::size_t level = 0; level < fids_.size(); ++level) {
+    detail::require(fids_[level].size() == nfibs_[level],
+                    "CSF nfibs does not match fids length");
+    if (level + 1 < fids_.size()) {
+      detail::require(fptr_[level].size() == fids_[level].size() + 1,
+                      "CSF fptr length mismatch");
+      detail::require(fptr_[level].empty() ||
+                          fptr_[level].back() == fids_[level + 1].size(),
+                      "CSF fptr does not cover next level");
+      for (std::size_t k = 1; k < fptr_[level].size(); ++k) {
+        detail::require(fptr_[level][k - 1] <= fptr_[level][k],
+                        "CSF fptr not monotone");
+      }
+    }
+  }
+}
+
+}  // namespace artsparse

@@ -1,0 +1,26 @@
+#include "formats/format.hpp"
+
+namespace artsparse {
+
+std::vector<std::size_t> SparseFormat::read(const CoordBuffer& queries) const {
+  std::vector<std::size_t> slots;
+  slots.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    slots.push_back(lookup(queries.point(i)));
+  }
+  return slots;
+}
+
+std::size_t SparseFormat::index_bytes() const {
+  BufferWriter writer;
+  save(writer);
+  return writer.size();
+}
+
+Bytes serialize_format(const SparseFormat& format) {
+  BufferWriter writer;
+  format.save(writer);
+  return writer.take();
+}
+
+}  // namespace artsparse

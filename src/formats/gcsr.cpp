@@ -1,0 +1,180 @@
+#include "formats/gcsr.hpp"
+
+#include "core/linearize.hpp"
+#include "core/parallel.hpp"
+#include "core/sort.hpp"
+
+namespace artsparse {
+
+std::vector<std::size_t> GcsrFormat::build(const CoordBuffer& coords,
+                                           const Shape& shape) {
+  detail::require(coords.rank() == shape.rank(),
+                  "coordinate rank does not match shape rank");
+  shape_ = shape;
+  row_ptr_.clear();
+  col_ind_.clear();
+
+  if (coords.empty()) {
+    local_box_ = Box();
+    rows_ = 0;
+    cols_ = 0;
+    row_ptr_.assign(1, 0);
+    return {};
+  }
+
+  // Algorithm 1 lines 5-6: extract the local boundary, pick its smallest
+  // extent as the row count, the product of the rest as the column count.
+  local_box_ = Box::bounding(coords);
+  const Flat2D flat = local_box_.shape().flatten_2d();
+  rows_ = flat.rows;
+  cols_ = flat.cols;
+
+  // Lines 7-11: transform each point to its 2-D coordinates.
+  const std::size_t n = coords.size();
+  std::vector<index_t> row_of(n);
+  std::vector<index_t> col_of(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    index_t row = 0;
+    index_t col = 0;
+    to_2d(coords.point(i), row, col);
+    row_of[i] = row;
+    col_of[i] = col;
+  }
+
+  // Line 12: sort by the first 2-D dimension (row). The stable sort keeps
+  // input order within a row, which is why row searches are linear scans.
+  const std::vector<std::size_t> perm = sort_permutation(row_of);
+
+  // Line 13: package as CSR — counting sort of rows into row_ptr_.
+  row_ptr_.assign(static_cast<std::size_t>(rows_) + 1, 0);
+  for (index_t row : row_of) {
+    ++row_ptr_[static_cast<std::size_t>(row) + 1];
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(rows_); ++r) {
+    row_ptr_[r + 1] += row_ptr_[r];
+  }
+  col_ind_.resize(n);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    col_ind_[rank] = col_of[perm[rank]];
+  }
+
+  return invert_permutation(perm);
+}
+
+bool GcsrFormat::to_2d(std::span<const index_t> point, index_t& row,
+                       index_t& col) const {
+  if (point.size() != shape_.rank() || local_box_.empty() ||
+      !local_box_.contains(point)) {
+    return false;
+  }
+  // Lines 8-9: row-major linearize within the local boundary, then
+  // reverse-transform the address into the 2-D shape.
+  const index_t address = linearize_local(point, local_box_);
+  row = address / cols_;
+  col = address % cols_;
+  return true;
+}
+
+std::size_t GcsrFormat::search_row(index_t row, index_t col) const {
+  const std::size_t begin = row_ptr_[static_cast<std::size_t>(row)];
+  const std::size_t end = row_ptr_[static_cast<std::size_t>(row) + 1];
+  for (std::size_t i = begin; i < end; ++i) {
+    if (col_ind_[i] == col) return i;
+  }
+  return kNotFound;
+}
+
+std::size_t GcsrFormat::lookup(std::span<const index_t> point) const {
+  index_t row = 0;
+  index_t col = 0;
+  if (!to_2d(point, row, col)) return kNotFound;
+  return search_row(row, col);
+}
+
+std::vector<std::size_t> GcsrFormat::read(const CoordBuffer& queries) const {
+  // GCSR++_READ: one pass converts every query to 2-D (the "+ n" term of
+  // the read complexity), then each query scans its row.
+  const std::size_t q = queries.size();
+  std::vector<index_t> row_of(q);
+  std::vector<index_t> col_of(q);
+  std::vector<bool> in_box(q);
+  for (std::size_t i = 0; i < q; ++i) {
+    in_box[i] = to_2d(queries.point(i), row_of[i], col_of[i]);
+  }
+  std::vector<std::size_t> slots(q, kNotFound);
+  // Each query touches only its own slot: safe to chunk across workers.
+  parallel_for(0, q, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (in_box[i]) {
+        slots[i] = search_row(row_of[i], col_of[i]);
+      }
+    }
+  });
+  return slots;
+}
+
+void GcsrFormat::scan_box(const Box& box, CoordBuffer& points,
+                          std::vector<std::size_t>& slots) const {
+  detail::require(box.rank() == shape_.rank(),
+                  "scan box rank does not match tensor rank");
+  if (local_box_.empty() || !local_box_.overlaps(box)) return;
+  // Rows partition the local address space into contiguous [r*cols,
+  // (r+1)*cols) windows, so only rows intersecting the box's address range
+  // need visiting; each surviving entry is reconstructed and tested.
+  const Box clipped = box.intersect(local_box_);
+  const index_t lo_addr = linearize_local(clipped.lo(), local_box_);
+  const index_t hi_addr = linearize_local(clipped.hi(), local_box_);
+  const index_t first_row = lo_addr / cols_;
+  const index_t last_row = hi_addr / cols_;
+  std::vector<index_t> point(shape_.rank());
+  for (index_t row = first_row; row <= last_row && row < rows_; ++row) {
+    const std::size_t begin = row_ptr_[static_cast<std::size_t>(row)];
+    const std::size_t end = row_ptr_[static_cast<std::size_t>(row) + 1];
+    for (std::size_t i = begin; i < end; ++i) {
+      const index_t address = row * cols_ + col_ind_[i];
+      if (address < lo_addr || address > hi_addr) continue;
+      delinearize_local(address, local_box_, point);
+      if (box.contains(point)) {
+        points.append(point);
+        slots.push_back(i);
+      }
+    }
+  }
+}
+
+void GcsrFormat::save(BufferWriter& out) const {
+  out.put_u64_vec(shape_.extents());
+  out.put_u8(local_box_.empty() ? 0 : 1);
+  if (!local_box_.empty()) {
+    out.put_u64_vec(local_box_.lo());
+    out.put_u64_vec(local_box_.hi());
+  }
+  out.put_u64(rows_);
+  out.put_u64(cols_);
+  out.put_u64_vec(row_ptr_);
+  out.put_u64_vec(col_ind_);
+}
+
+void GcsrFormat::load(BufferReader& in) {
+  shape_ = Shape(in.get_u64_vec());
+  local_box_ = Box();
+  if (in.get_u8() != 0) {
+    auto lo = in.get_u64_vec();
+    auto hi = in.get_u64_vec();
+    local_box_ = Box(std::move(lo), std::move(hi));
+  }
+  rows_ = in.get_u64();
+  cols_ = in.get_u64();
+  row_ptr_ = in.get_u64_vec();
+  col_ind_ = in.get_u64_vec();
+  detail::require(row_ptr_.size() == static_cast<std::size_t>(rows_) + 1,
+                  "GCSR row_ptr length mismatch");
+  detail::require(row_ptr_.empty() || row_ptr_.back() == col_ind_.size(),
+                  "GCSR row_ptr does not cover col_ind");
+  for (std::size_t r = 1; r < row_ptr_.size(); ++r) {
+    detail::require(row_ptr_[r - 1] <= row_ptr_[r],
+                    "GCSR row_ptr not monotone");
+  }
+}
+
+}  // namespace artsparse

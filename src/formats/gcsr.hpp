@@ -1,0 +1,67 @@
+// GCSR++ — Generalized Compressed Sparse Row (Algorithm 1).
+//
+// Maps a d-dimensional tensor into a 2-D matrix: the local bounding box of
+// the points is extracted ("s_l"), its smallest extent becomes the row count
+// and the product of the remaining extents the column count. Each point is
+// row-major linearized within the box, re-interpreted as (row, column) in
+// the 2-D shape, sorted by row, and packaged as classic CSR (row_ptr +
+// col_ind).
+//
+// Build O(n log n + 2n); read O(n_read * n / min(m) + n) — each query pays a
+// linear scan of its row, and the whole batch pays one coordinate-transform
+// pass; space O(n + min(m)).
+#pragma once
+
+#include "formats/format.hpp"
+
+namespace artsparse {
+
+class GcsrFormat final : public SparseFormat {
+ public:
+  GcsrFormat() = default;
+
+  OrgKind kind() const override { return OrgKind::kGcsr; }
+
+  std::vector<std::size_t> build(const CoordBuffer& coords,
+                                 const Shape& shape) override;
+
+  std::size_t lookup(std::span<const index_t> point) const override;
+
+  /// Algorithm 1's GCSR++_READ: transforms all queries to 2-D in one pass,
+  /// then searches row by row.
+  std::vector<std::size_t> read(const CoordBuffer& queries) const override;
+
+  void scan_box(const Box& box, CoordBuffer& points,
+                std::vector<std::size_t>& slots) const override;
+
+  void save(BufferWriter& out) const override;
+  void load(BufferReader& in) override;
+
+  std::size_t point_count() const override { return col_ind_.size(); }
+  const Shape& tensor_shape() const override { return shape_; }
+
+  /// CSR structure accessors (for tests and the fig1 walkthrough).
+  std::span<const index_t> row_ptr() const { return row_ptr_; }
+  std::span<const index_t> col_ind() const { return col_ind_; }
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  const Box& local_box() const { return local_box_; }
+
+ private:
+  /// Maps an original coordinate to (row, col) in the 2-D shape; false when
+  /// the point lies outside the local bounding box (guaranteed miss).
+  bool to_2d(std::span<const index_t> point, index_t& row,
+             index_t& col) const;
+
+  /// Scans row `row` for `col`; returns the slot or kNotFound.
+  std::size_t search_row(index_t row, index_t col) const;
+
+  Shape shape_;
+  Box local_box_;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<index_t> row_ptr_;  ///< rows_ + 1 entries
+  std::vector<index_t> col_ind_;  ///< one entry per point, grouped by row
+};
+
+}  // namespace artsparse

@@ -1,0 +1,26 @@
+// Factory for storage organizations, keyed by OrgKind or paper name.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "formats/format.hpp"
+
+namespace artsparse {
+
+/// Creates an empty format instance of the given kind.
+std::unique_ptr<SparseFormat> make_format(OrgKind kind);
+
+/// Creates a format by its paper name ("COO", "LINEAR", "GCSR++", ...).
+std::unique_ptr<SparseFormat> make_format(const std::string& name);
+
+/// Reconstructs a format from a serialized index buffer produced by
+/// serialize_format()/SparseFormat::save().
+std::unique_ptr<SparseFormat> load_format(OrgKind kind,
+                                          std::span<const std::byte> bytes);
+
+/// All kinds the library implements (paper's five + sorted COO).
+std::vector<OrgKind> all_org_kinds();
+
+}  // namespace artsparse

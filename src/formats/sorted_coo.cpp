@@ -1,0 +1,93 @@
+#include "formats/sorted_coo.hpp"
+
+#include <algorithm>
+
+#include "core/linearize.hpp"
+#include "core/sort.hpp"
+
+namespace artsparse {
+
+std::vector<std::size_t> SortedCooFormat::build(const CoordBuffer& coords,
+                                                const Shape& shape) {
+  detail::require(coords.rank() == shape.rank(),
+                  "coordinate rank does not match shape rank");
+  shape_ = shape;
+  // Lexicographic coordinate order equals ascending row-major address order,
+  // so sorting by linear address gives the binary-searchable layout.
+  const std::vector<index_t> addresses = linearize_all(coords, shape);
+  const std::vector<std::size_t> perm = sort_permutation(addresses);
+  coords_ = coords.permuted(perm);
+  return invert_permutation(perm);
+}
+
+std::size_t SortedCooFormat::lookup(std::span<const index_t> point) const {
+  const std::size_t d = coords_.rank();
+  if (point.size() != d || coords_.empty()) return kNotFound;
+  // Binary search on lexicographic coordinate order.
+  std::size_t lo = 0;
+  std::size_t hi = coords_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const auto p = coords_.point(mid);
+    if (std::lexicographical_compare(p.begin(), p.end(), point.begin(),
+                                     point.end())) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < coords_.size()) {
+    const auto p = coords_.point(lo);
+    if (std::equal(p.begin(), p.end(), point.begin())) return lo;
+  }
+  return kNotFound;
+}
+
+void SortedCooFormat::scan_box(const Box& box, CoordBuffer& points,
+                               std::vector<std::size_t>& slots) const {
+  detail::require(box.rank() == shape_.rank(),
+                  "scan box rank does not match tensor rank");
+  if (coords_.empty()) return;
+  // Lexicographic order lets the scan start at the box's smallest corner
+  // and stop once points lexicographically exceed the largest corner.
+  const auto lo = box.lo();
+  const auto hi = box.hi();
+  std::size_t first = 0;
+  std::size_t last = coords_.size();
+  while (first < last) {
+    const std::size_t mid = first + (last - first) / 2;
+    const auto p = coords_.point(mid);
+    if (std::lexicographical_compare(p.begin(), p.end(), lo.begin(),
+                                     lo.end())) {
+      first = mid + 1;
+    } else {
+      last = mid;
+    }
+  }
+  for (std::size_t i = first; i < coords_.size(); ++i) {
+    const auto p = coords_.point(i);
+    if (std::lexicographical_compare(hi.begin(), hi.end(), p.begin(),
+                                     p.end())) {
+      break;  // past the box's last corner: nothing further can match
+    }
+    if (box.contains(p)) {
+      points.append(p);
+      slots.push_back(i);
+    }
+  }
+}
+
+void SortedCooFormat::save(BufferWriter& out) const {
+  out.put_u64_vec(shape_.extents());
+  out.put_u64(coords_.rank());
+  out.put_u64_vec(coords_.flat());
+}
+
+void SortedCooFormat::load(BufferReader& in) {
+  shape_ = Shape(in.get_u64_vec());
+  const std::size_t rank = in.get_u64();
+  auto flat = in.get_u64_vec();
+  coords_ = rank == 0 ? CoordBuffer() : CoordBuffer(rank, std::move(flat));
+}
+
+}  // namespace artsparse

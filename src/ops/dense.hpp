@@ -1,0 +1,54 @@
+// Minimal dense containers for the computation kernels: a row-major matrix
+// (factor matrices in MTTKRP, SpMV inputs/outputs use plain vectors).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/types.hpp"
+
+namespace artsparse {
+
+/// Row-major dense matrix of value_t.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, value_t fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  value_t& at(std::size_t r, std::size_t c) {
+    detail::require(r < rows_ && c < cols_, "dense matrix access OOB");
+    return data_[r * cols_ + c];
+  }
+  value_t at(std::size_t r, std::size_t c) const {
+    detail::require(r < rows_ && c < cols_, "dense matrix access OOB");
+    return data_[r * cols_ + c];
+  }
+
+  /// Row r as a span of cols() values.
+  std::span<value_t> row(std::size_t r) {
+    detail::require(r < rows_, "dense matrix row OOB");
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const value_t> row(std::size_t r) const {
+    detail::require(r < rows_, "dense matrix row OOB");
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<const value_t> data() const { return data_; }
+
+  friend bool operator==(const DenseMatrix& a, const DenseMatrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<value_t> data_;
+};
+
+}  // namespace artsparse

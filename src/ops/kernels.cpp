@@ -1,0 +1,109 @@
+#include "ops/kernels.hpp"
+
+#include <map>
+
+#include "core/linearize.hpp"
+
+namespace artsparse {
+
+std::vector<value_t> spmv(const SparseTensor& A,
+                          std::span<const value_t> x) {
+  detail::require(A.shape().rank() == 2, "spmv requires a 2-D tensor");
+  detail::require(x.size() == A.shape().extent(1),
+                  "spmv vector length does not match column count");
+  std::vector<value_t> y(static_cast<std::size_t>(A.shape().extent(0)), 0.0);
+  A.for_each([&](std::span<const index_t> p, value_t value) {
+    y[static_cast<std::size_t>(p[0])] +=
+        value * x[static_cast<std::size_t>(p[1])];
+  });
+  return y;
+}
+
+std::vector<value_t> spmv_transposed(const SparseTensor& A,
+                                     std::span<const value_t> x) {
+  detail::require(A.shape().rank() == 2, "spmv requires a 2-D tensor");
+  detail::require(x.size() == A.shape().extent(0),
+                  "spmv vector length does not match row count");
+  std::vector<value_t> y(static_cast<std::size_t>(A.shape().extent(1)), 0.0);
+  A.for_each([&](std::span<const index_t> p, value_t value) {
+    y[static_cast<std::size_t>(p[1])] +=
+        value * x[static_cast<std::size_t>(p[0])];
+  });
+  return y;
+}
+
+DenseMatrix mttkrp(const SparseTensor& X, const DenseMatrix& B,
+                   const DenseMatrix& C, std::size_t mode) {
+  detail::require(X.shape().rank() == 3, "mttkrp requires a 3-D tensor");
+  detail::require(mode < 3, "mttkrp mode out of range");
+  // The two non-output dimensions, ascending.
+  const std::size_t j_dim = mode == 0 ? 1 : 0;
+  const std::size_t k_dim = mode == 2 ? 1 : 2;
+  detail::require(B.rows() == X.shape().extent(j_dim),
+                  "factor B rows do not match tensor dimension");
+  detail::require(C.rows() == X.shape().extent(k_dim),
+                  "factor C rows do not match tensor dimension");
+  detail::require(B.cols() == C.cols(), "factor ranks differ");
+
+  const std::size_t rank = B.cols();
+  DenseMatrix M(static_cast<std::size_t>(X.shape().extent(mode)), rank);
+  X.for_each([&](std::span<const index_t> p, value_t value) {
+    const auto i = static_cast<std::size_t>(p[mode]);
+    const auto b = B.row(static_cast<std::size_t>(p[j_dim]));
+    const auto c = C.row(static_cast<std::size_t>(p[k_dim]));
+    const auto out = M.row(i);
+    for (std::size_t r = 0; r < rank; ++r) {
+      out[r] += value * b[r] * c[r];
+    }
+  });
+  return M;
+}
+
+std::pair<CoordBuffer, std::vector<value_t>> ttv(
+    const SparseTensor& X, std::span<const value_t> v, std::size_t mode) {
+  const std::size_t d = X.shape().rank();
+  detail::require(d >= 2, "ttv requires rank >= 2");
+  detail::require(mode < d, "ttv mode out of range");
+  detail::require(v.size() == X.shape().extent(mode),
+                  "ttv vector length does not match mode extent");
+
+  // Reduced shape (mode removed) for deterministic row-major ordering.
+  std::vector<index_t> reduced_extents;
+  for (std::size_t dim = 0; dim < d; ++dim) {
+    if (dim != mode) reduced_extents.push_back(X.shape().extent(dim));
+  }
+  const Shape reduced(std::move(reduced_extents));
+
+  std::map<index_t, value_t> accumulated;
+  std::vector<index_t> reduced_point(d - 1);
+  X.for_each([&](std::span<const index_t> p, value_t value) {
+    std::size_t out = 0;
+    for (std::size_t dim = 0; dim < d; ++dim) {
+      if (dim != mode) reduced_point[out++] = p[dim];
+    }
+    accumulated[linearize(reduced_point, reduced)] +=
+        value * v[static_cast<std::size_t>(p[mode])];
+  });
+
+  CoordBuffer coords(d - 1);
+  std::vector<value_t> values;
+  coords.reserve(accumulated.size());
+  values.reserve(accumulated.size());
+  std::vector<index_t> point(d - 1);
+  for (const auto& [address, value] : accumulated) {
+    delinearize(address, reduced, point);
+    coords.append(point);
+    values.push_back(value);
+  }
+  return {std::move(coords), std::move(values)};
+}
+
+value_t norm_squared(const SparseTensor& X) {
+  value_t total = 0.0;
+  X.for_each([&](std::span<const index_t>, value_t value) {
+    total += value * value;
+  });
+  return total;
+}
+
+}  // namespace artsparse

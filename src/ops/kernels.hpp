@@ -1,0 +1,41 @@
+// Computation kernels over SparseTensor — the access patterns that motivate
+// the storage organizations:
+//   - SpMV, the classic CSR/CSC workload (paper's Related Work, [5][9]);
+//   - MTTKRP, the kernel CSF was designed for (SPLATT, paper refs [14][15]).
+// Every kernel works for any organization (iteration goes through the
+// format's native scan), so the benches can compare organizations on equal
+// semantics.
+#pragma once
+
+#include "ops/dense.hpp"
+#include "ops/sparse_tensor.hpp"
+
+namespace artsparse {
+
+/// y = A * x for a 2-D sparse tensor. x has A.shape()[1] entries; the
+/// result has A.shape()[0].
+std::vector<value_t> spmv(const SparseTensor& A,
+                          std::span<const value_t> x);
+
+/// y = A^T * x (x over rows, result over columns).
+std::vector<value_t> spmv_transposed(const SparseTensor& A,
+                                     std::span<const value_t> x);
+
+/// Matricized tensor times Khatri-Rao product for a 3-D tensor X:
+///   M(i, r) = sum_{j,k} X(i,j,k) * B(j,r) * C(k,r)        (mode == 0)
+/// For mode m, the output indexes dimension m and B/C are the factor
+/// matrices of the remaining dimensions in ascending order. B and C must
+/// have the matching dimension extents as rows and a common rank (columns).
+DenseMatrix mttkrp(const SparseTensor& X, const DenseMatrix& B,
+                   const DenseMatrix& C, std::size_t mode = 0);
+
+/// Tensor-times-vector contraction along `mode`: the result is a sparse
+/// (d-1)-dimensional dataset (coordinates with `mode` removed; values
+/// accumulated), returned as coordinate/value buffers in row-major order.
+std::pair<CoordBuffer, std::vector<value_t>> ttv(
+    const SparseTensor& X, std::span<const value_t> v, std::size_t mode);
+
+/// Frobenius norm squared (sum of squares of stored values).
+value_t norm_squared(const SparseTensor& X);
+
+}  // namespace artsparse

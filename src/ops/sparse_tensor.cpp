@@ -1,0 +1,92 @@
+#include "ops/sparse_tensor.hpp"
+
+#include "core/linearize.hpp"
+
+namespace artsparse {
+
+SparseTensor::SparseTensor(const CoordBuffer& coords,
+                           std::span<const value_t> values,
+                           const Shape& shape, OrgKind org)
+    : format_(make_format(org)) {
+  detail::require(coords.size() == values.size(),
+                  "coordinate and value counts differ");
+  const std::vector<std::size_t> map = format_->build(coords, shape);
+  values_.resize(values.size());
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    values_[map[i]] = values[i];
+  }
+}
+
+std::optional<value_t> SparseTensor::at(
+    std::span<const index_t> point) const {
+  const std::size_t slot = format_->lookup(point);
+  if (slot == kNotFound) return std::nullopt;
+  return values_[slot];
+}
+
+void SparseTensor::for_each(
+    const Box& box,
+    const std::function<void(std::span<const index_t>, value_t)>& visit)
+    const {
+  CoordBuffer points(shape().rank());
+  std::vector<std::size_t> slots;
+  format_->scan_box(box, points, slots);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    visit(points.point(i), values_[slots[i]]);
+  }
+}
+
+struct SparseTensor::const_iterator::Snapshot {
+  CoordBuffer points;
+  std::vector<value_t> values;
+};
+
+SparseTensor::Entry SparseTensor::const_iterator::operator*() const {
+  return Entry{snapshot_->points.point(at_), snapshot_->values[at_]};
+}
+
+SparseTensor::const_iterator& SparseTensor::const_iterator::operator++() {
+  ++at_;
+  return *this;
+}
+
+SparseTensor::const_iterator SparseTensor::const_iterator::operator++(int) {
+  const_iterator before = *this;
+  ++at_;
+  return before;
+}
+
+SparseTensor::const_iterator SparseTensor::begin() const {
+  if (!snapshot_) {
+    auto snapshot = std::make_shared<const_iterator::Snapshot>();
+    snapshot->points = CoordBuffer(shape().rank());
+    std::vector<std::size_t> slots;
+    format_->scan_box(Box::whole(shape()), snapshot->points, slots);
+    snapshot->values.reserve(slots.size());
+    for (std::size_t slot : slots) {
+      snapshot->values.push_back(values_[slot]);
+    }
+    snapshot_ = std::move(snapshot);
+  }
+  return const_iterator(snapshot_, 0);
+}
+
+SparseTensor::const_iterator SparseTensor::end() const {
+  if (!snapshot_) {
+    begin();  // materialize so both ends share one snapshot
+  }
+  return const_iterator(snapshot_, snapshot_->points.size());
+}
+
+std::vector<value_t> SparseTensor::to_dense(index_t max_cells) const {
+  const index_t cells = shape().element_count();
+  detail::require(cells <= max_cells,
+                  "to_dense refused: tensor exceeds max_cells");
+  std::vector<value_t> dense(static_cast<std::size_t>(cells), 0.0);
+  for_each([&](std::span<const index_t> point, value_t value) {
+    dense[static_cast<std::size_t>(linearize(point, shape()))] = value;
+  });
+  return dense;
+}
+
+}  // namespace artsparse

@@ -1,0 +1,102 @@
+// SparseTensor: an in-memory sparse tensor — one storage organization plus
+// its reorganized value buffer — with a user-facing accessor API. This is
+// the facade a downstream application uses when it wants the paper's
+// organizations without the fragment/storage machinery.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "formats/registry.hpp"
+#include "patterns/dataset.hpp"
+
+namespace artsparse {
+
+class SparseTensor {
+ public:
+  /// Builds from raw coordinates + values (values are reorganized by the
+  /// organization's map internally).
+  SparseTensor(const CoordBuffer& coords, std::span<const value_t> values,
+               const Shape& shape, OrgKind org);
+
+  /// Builds from a generated dataset.
+  SparseTensor(const SparseDataset& dataset, OrgKind org)
+      : SparseTensor(dataset.coords, dataset.values, dataset.shape, org) {}
+
+  SparseTensor(SparseTensor&&) noexcept = default;
+  SparseTensor& operator=(SparseTensor&&) noexcept = default;
+
+  /// Value at `point`, or nullopt when the cell is empty.
+  std::optional<value_t> at(std::span<const index_t> point) const;
+
+  /// Visits every stored point inside `box` as (coordinates, value).
+  void for_each(
+      const Box& box,
+      const std::function<void(std::span<const index_t>, value_t)>& visit)
+      const;
+
+  /// Visits every stored point.
+  void for_each(
+      const std::function<void(std::span<const index_t>, value_t)>& visit)
+      const {
+    for_each(Box::whole(shape()), visit);
+  }
+
+  /// Dense materialization (row-major). Guarded: refuses tensors with more
+  /// than `max_cells` cells so a typo cannot allocate terabytes.
+  std::vector<value_t> to_dense(index_t max_cells = 1u << 24) const;
+
+  /// One stored entry, as seen through the iterator.
+  struct Entry {
+    std::span<const index_t> coords;
+    value_t value;
+  };
+
+  /// Forward const iterator over all stored entries, in the format's
+  /// native scan order. The iteration snapshot is materialized once at
+  /// begin() and shared by iterator copies.
+  class const_iterator {
+   public:
+    using value_type = Entry;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    const_iterator() = default;
+
+    Entry operator*() const;
+    const_iterator& operator++();
+    const_iterator operator++(int);
+
+    friend bool operator==(const const_iterator& a,
+                           const const_iterator& b) {
+      return a.at_ == b.at_ && a.snapshot_ == b.snapshot_;
+    }
+
+   private:
+    friend class SparseTensor;
+    struct Snapshot;
+    const_iterator(std::shared_ptr<const Snapshot> snapshot, std::size_t at)
+        : snapshot_(std::move(snapshot)), at_(at) {}
+
+    std::shared_ptr<const Snapshot> snapshot_;
+    std::size_t at_ = 0;
+  };
+
+  const_iterator begin() const;
+  const_iterator end() const;
+
+  std::size_t nnz() const { return format_->point_count(); }
+  const Shape& shape() const { return format_->tensor_shape(); }
+  OrgKind org() const { return format_->kind(); }
+  const SparseFormat& format() const { return *format_; }
+  std::span<const value_t> values() const { return values_; }
+
+ private:
+  std::unique_ptr<SparseFormat> format_;
+  std::vector<value_t> values_;  ///< slot-ordered (post-map)
+  /// Lazily materialized iteration snapshot shared by begin()/end().
+  mutable std::shared_ptr<const const_iterator::Snapshot> snapshot_;
+};
+
+}  // namespace artsparse

@@ -1,0 +1,17 @@
+// Internal: Bernoulli cell sampling shared by the GSP and MSP generators.
+#pragma once
+
+#include "core/box.hpp"
+#include "core/coords.hpp"
+#include "core/rng.hpp"
+
+namespace artsparse::detail {
+
+/// Appends each cell of `box` independently with probability `p`, skipping
+/// cells inside `exclude` (pass an empty box to exclude nothing). Runs in
+/// O(#selected) expected time via geometric gap sampling, so low densities
+/// over huge tensors stay cheap.
+void append_bernoulli_cells(const Box& box, double p, Xoshiro256& rng,
+                            const Box& exclude, CoordBuffer& out);
+
+}  // namespace artsparse::detail

@@ -1,0 +1,57 @@
+#include "patterns/dataset.hpp"
+
+#include "core/linearize.hpp"
+#include "core/rng.hpp"
+
+namespace artsparse {
+
+PatternKind pattern_kind(const PatternSpec& spec) {
+  if (std::holds_alternative<TspConfig>(spec)) return PatternKind::kTsp;
+  if (std::holds_alternative<GspConfig>(spec)) return PatternKind::kGsp;
+  return PatternKind::kMsp;
+}
+
+double SparseDataset::density() const {
+  if (shape.element_count() == 0) return 0.0;
+  return static_cast<double>(coords.size()) /
+         static_cast<double>(shape.element_count());
+}
+
+value_t expected_value(std::span<const index_t> point, const Shape& shape) {
+  return static_cast<value_t>(linearize(point, shape));
+}
+
+SparseDataset make_dataset(const Shape& shape, const PatternSpec& spec,
+                           std::uint64_t seed, ValueKind value_kind) {
+  SparseDataset dataset;
+  dataset.shape = shape;
+  dataset.pattern = pattern_kind(spec);
+  dataset.coords = std::visit(
+      [&](const auto& config) -> CoordBuffer {
+        using Config = std::decay_t<decltype(config)>;
+        if constexpr (std::is_same_v<Config, TspConfig>) {
+          return generate_tsp(shape, config);
+        } else if constexpr (std::is_same_v<Config, GspConfig>) {
+          return generate_gsp(shape, config, seed);
+        } else {
+          return generate_msp(shape, config, seed);
+        }
+      },
+      spec);
+
+  dataset.values.reserve(dataset.coords.size());
+  if (value_kind == ValueKind::kAddress) {
+    for (std::size_t i = 0; i < dataset.coords.size(); ++i) {
+      dataset.values.push_back(
+          expected_value(dataset.coords.point(i), shape));
+    }
+  } else {
+    Xoshiro256 rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    for (std::size_t i = 0; i < dataset.coords.size(); ++i) {
+      dataset.values.push_back(rng.next_double());
+    }
+  }
+  return dataset;
+}
+
+}  // namespace artsparse

@@ -1,0 +1,44 @@
+// SparseDataset: a generated sparse tensor (coordinates + values) plus the
+// provenance needed to reproduce it. This is the unit the benchmark harness
+// writes and reads (Table II's synthetic datasets).
+#pragma once
+
+#include <variant>
+
+#include "patterns/pattern.hpp"
+
+namespace artsparse {
+
+/// How values are synthesized.
+enum class ValueKind : std::uint8_t {
+  kAddress = 0,  ///< value == row-major linear address (self-verifying)
+  kRandom = 1,   ///< uniform doubles in [0, 1)
+};
+
+using PatternSpec = std::variant<TspConfig, GspConfig, MspConfig>;
+
+PatternKind pattern_kind(const PatternSpec& spec);
+
+struct SparseDataset {
+  Shape shape;
+  PatternKind pattern = PatternKind::kGsp;
+  CoordBuffer coords;
+  std::vector<value_t> values;
+
+  std::size_t point_count() const { return coords.size(); }
+
+  /// Fraction of cells that are non-empty (Table II's density column).
+  double density() const;
+};
+
+/// Generates a dataset: pattern cells per `spec`, values per `value_kind`.
+/// With ValueKind::kAddress, values[i] equals the linear address of
+/// coords[i], so any read can be verified without keeping the input around.
+SparseDataset make_dataset(const Shape& shape, const PatternSpec& spec,
+                           std::uint64_t seed,
+                           ValueKind value_kind = ValueKind::kAddress);
+
+/// The value the kAddress scheme assigns to `point` in `shape`.
+value_t expected_value(std::span<const index_t> point, const Shape& shape);
+
+}  // namespace artsparse

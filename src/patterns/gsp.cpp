@@ -1,0 +1,60 @@
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/linearize.hpp"
+#include "patterns/bernoulli.hpp"
+#include "patterns/pattern.hpp"
+
+namespace artsparse {
+
+namespace detail {
+
+void append_bernoulli_cells(const Box& box, double p, Xoshiro256& rng,
+                            const Box& exclude, CoordBuffer& out) {
+  artsparse::detail::require(p >= 0.0 && p <= 1.0,
+                             "fill probability must lie in [0, 1]");
+  if (p <= 0.0 || box.empty()) return;
+  const index_t cells = box.cell_count();
+  std::vector<index_t> point(box.rank());
+
+  if (p >= 1.0) {
+    for (index_t address = 0; address < cells; ++address) {
+      delinearize_local(address, box, point);
+      if (exclude.empty() || !exclude.contains(point)) {
+        out.append(point);
+      }
+    }
+    return;
+  }
+
+  // Geometric gap sampling: the distance between consecutive successes of a
+  // Bernoulli(p) process is Geometric(p), so we jump straight from hit to
+  // hit in O(#hits) expected time.
+  const double log1mp = std::log1p(-p);
+  double cursor = -1.0;
+  while (true) {
+    const double u = rng.next_double();
+    // skip >= 0; +1 moves past the previous hit.
+    const double skip = std::floor(std::log1p(-u) / log1mp);
+    cursor += skip + 1.0;
+    if (cursor >= static_cast<double>(cells)) break;
+    const auto address = static_cast<index_t>(cursor);
+    delinearize_local(address, box, point);
+    if (exclude.empty() || !exclude.contains(point)) {
+      out.append(point);
+    }
+  }
+}
+
+}  // namespace detail
+
+CoordBuffer generate_gsp(const Shape& shape, const GspConfig& config,
+                         std::uint64_t seed) {
+  CoordBuffer out(shape.rank());
+  Xoshiro256 rng(seed);
+  detail::append_bernoulli_cells(Box::whole(shape), config.fill_probability,
+                                 rng, Box(), out);
+  return out;
+}
+
+}  // namespace artsparse

@@ -1,0 +1,21 @@
+#include "patterns/bernoulli.hpp"
+#include "patterns/pattern.hpp"
+
+namespace artsparse {
+
+CoordBuffer generate_msp(const Shape& shape, const MspConfig& config,
+                         std::uint64_t seed) {
+  CoordBuffer out(shape.rank());
+  Xoshiro256 rng(seed);
+  const Box region = msp_region(shape);
+  // Random background everywhere outside the contiguous region...
+  detail::append_bernoulli_cells(Box::whole(shape),
+                                 config.background_probability, rng, region,
+                                 out);
+  // ...plus the contiguous region at its own fill rate.
+  detail::append_bernoulli_cells(region, config.region_fill_probability, rng,
+                                 Box(), out);
+  return out;
+}
+
+}  // namespace artsparse

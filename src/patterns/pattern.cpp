@@ -1,0 +1,31 @@
+#include "patterns/pattern.hpp"
+
+#include "core/error.hpp"
+
+namespace artsparse {
+
+std::string to_string(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kTsp:
+      return "TSP";
+    case PatternKind::kGsp:
+      return "GSP";
+    case PatternKind::kMsp:
+      return "MSP";
+  }
+  throw FormatError("unknown PatternKind value");
+}
+
+Box msp_region(const Shape& shape) {
+  // Paper: "starting address of (m_1/3, ..., m_d/3) and a size of
+  // (m_1/3, ..., m_d/3)".
+  std::vector<index_t> origin(shape.rank());
+  std::vector<index_t> size(shape.rank());
+  for (std::size_t i = 0; i < shape.rank(); ++i) {
+    origin[i] = shape.extent(i) / 3;
+    size[i] = std::max<index_t>(1, shape.extent(i) / 3);
+  }
+  return Box::from_origin_size(origin, size);
+}
+
+}  // namespace artsparse

@@ -1,0 +1,51 @@
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "patterns/pattern.hpp"
+
+namespace artsparse {
+
+namespace {
+
+/// Recursively enumerates dimensions 1..d-1 of one band cross-section,
+/// keeping coordinates within [lo, hi] of each extent and of each other.
+void emit_band_cells(const Shape& shape, index_t half_width,
+                     std::vector<index_t>& point, std::size_t dim,
+                     CoordBuffer& out) {
+  const std::size_t d = shape.rank();
+  if (dim == d) {
+    // The anchored enumeration below guarantees |c_i - c_0| <= w; enforce
+    // the full pairwise condition max - min <= w here.
+    const auto [lo, hi] = std::minmax_element(point.begin(), point.end());
+    if (*hi - *lo <= half_width) {
+      out.append(point);
+    }
+    return;
+  }
+  const index_t anchor = point[0];
+  const index_t lo = anchor > half_width ? anchor - half_width : 0;
+  const index_t hi = std::min<index_t>(anchor + half_width,
+                                       shape.extent(dim) - 1);
+  for (index_t c = lo; c <= hi; ++c) {
+    point[dim] = c;
+    emit_band_cells(shape, half_width, point, dim + 1, out);
+  }
+}
+
+}  // namespace
+
+CoordBuffer generate_tsp(const Shape& shape, const TspConfig& config) {
+  detail::require(shape.rank() >= 1, "TSP requires rank >= 1");
+  CoordBuffer out(shape.rank());
+  std::vector<index_t> point(shape.rank(), 0);
+  // Anchor each band cell by its dimension-0 coordinate: every cell with
+  // max - min <= w has all coordinates within [c_0 - w, c_0 + w], so this
+  // enumeration is exhaustive and duplicate-free.
+  for (index_t c0 = 0; c0 < shape.extent(0); ++c0) {
+    point[0] = c0;
+    emit_band_cells(shape, config.half_width, point, 1, out);
+  }
+  return out;
+}
+
+}  // namespace artsparse

@@ -1,0 +1,41 @@
+// Optional compression codecs for fragment index buffers.
+//
+// Section II of the paper: general compression is orthogonal to the choice
+// of sparse organization — systems like TileDB and HDF5 pick a basic sparse
+// organization first, then apply compression on top. These codecs implement
+// that second stage; fragments record which codec was applied so reads are
+// self-describing. Identity is the default everywhere.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace artsparse {
+
+enum class CodecKind : std::uint8_t {
+  kIdentity = 0,
+  kDelta = 1,        ///< zigzag delta over u64 words
+  kVarint = 2,       ///< LEB128 over u64 words
+  kRle = 3,          ///< byte-level run-length
+  kDeltaVarint = 4,  ///< delta, then varint — the useful pipeline for
+                     ///< sorted address/index arrays
+};
+
+std::string to_string(CodecKind kind);
+
+/// Reversible byte-buffer transform. decode(encode(x)) == x for all x the
+/// codec accepts (word codecs require length % 8 == 0).
+class Codec {
+ public:
+  virtual ~Codec() = default;
+  virtual CodecKind kind() const = 0;
+  virtual Bytes encode(std::span<const std::byte> raw) const = 0;
+  virtual Bytes decode(std::span<const std::byte> coded) const = 0;
+};
+
+std::unique_ptr<Codec> make_codec(CodecKind kind);
+
+}  // namespace artsparse

@@ -1,0 +1,61 @@
+// Concrete codec classes. Internal header — library users go through
+// make_codec(); these types are exposed for unit tests.
+#pragma once
+
+#include <vector>
+
+#include "storage/compress/codec.hpp"
+
+namespace artsparse {
+
+class IdentityCodec final : public Codec {
+ public:
+  CodecKind kind() const override { return CodecKind::kIdentity; }
+  Bytes encode(std::span<const std::byte> raw) const override;
+  Bytes decode(std::span<const std::byte> coded) const override;
+};
+
+/// Zigzag-delta over little-endian u64 words: word[0] verbatim, then
+/// zigzag(word[i] - word[i-1]). Sorted address arrays become small values.
+class DeltaCodec final : public Codec {
+ public:
+  CodecKind kind() const override { return CodecKind::kDelta; }
+  Bytes encode(std::span<const std::byte> raw) const override;
+  Bytes decode(std::span<const std::byte> coded) const override;
+};
+
+/// LEB128 varint over u64 words, with a word-count prefix.
+class VarintCodec final : public Codec {
+ public:
+  CodecKind kind() const override { return CodecKind::kVarint; }
+  Bytes encode(std::span<const std::byte> raw) const override;
+  Bytes decode(std::span<const std::byte> coded) const override;
+};
+
+/// Byte-level run-length encoding: (count u8, value u8) pairs with a raw
+/// length prefix. Wins on long zero runs (row_ptr of empty rows).
+class RleCodec final : public Codec {
+ public:
+  CodecKind kind() const override { return CodecKind::kRle; }
+  Bytes encode(std::span<const std::byte> raw) const override;
+  Bytes decode(std::span<const std::byte> coded) const override;
+};
+
+/// Composition: encode applies first then second; decode reverses.
+class PipelineCodec final : public Codec {
+ public:
+  PipelineCodec(CodecKind kind, std::unique_ptr<Codec> first,
+                std::unique_ptr<Codec> second)
+      : kind_(kind), first_(std::move(first)), second_(std::move(second)) {}
+
+  CodecKind kind() const override { return kind_; }
+  Bytes encode(std::span<const std::byte> raw) const override;
+  Bytes decode(std::span<const std::byte> coded) const override;
+
+ private:
+  CodecKind kind_;
+  std::unique_ptr<Codec> first_;
+  std::unique_ptr<Codec> second_;
+};
+
+}  // namespace artsparse

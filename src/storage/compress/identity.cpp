@@ -1,0 +1,13 @@
+#include "storage/compress/codec_impl.hpp"
+
+namespace artsparse {
+
+Bytes IdentityCodec::encode(std::span<const std::byte> raw) const {
+  return Bytes(raw.begin(), raw.end());
+}
+
+Bytes IdentityCodec::decode(std::span<const std::byte> coded) const {
+  return Bytes(coded.begin(), coded.end());
+}
+
+}  // namespace artsparse

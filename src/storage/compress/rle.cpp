@@ -1,0 +1,55 @@
+#include <cstring>
+
+#include "core/error.hpp"
+#include "storage/compress/codec_impl.hpp"
+
+namespace artsparse {
+
+// Byte-level RLE: an 8-byte raw-length header, then (run_length u8,
+// value u8) pairs with runs capped at 255.
+
+Bytes RleCodec::encode(std::span<const std::byte> raw) const {
+  Bytes out;
+  out.reserve(raw.size() / 2 + 16);
+  std::uint64_t total = raw.size();
+  const auto* lp = reinterpret_cast<const std::byte*>(&total);
+  out.insert(out.end(), lp, lp + sizeof(total));
+
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    const std::byte value = raw[i];
+    std::size_t run = 1;
+    while (i + run < raw.size() && raw[i + run] == value && run < 255) {
+      ++run;
+    }
+    out.push_back(static_cast<std::byte>(run));
+    out.push_back(value);
+    i += run;
+  }
+  return out;
+}
+
+Bytes RleCodec::decode(std::span<const std::byte> coded) const {
+  detail::require(coded.size() >= sizeof(std::uint64_t),
+                  "rle payload truncated");
+  std::uint64_t total = 0;
+  std::memcpy(&total, coded.data(), sizeof(total));
+  detail::require(total <= coded.size() * 255,
+                  "rle raw length implausibly large");
+
+  Bytes out;
+  out.reserve(total);
+  std::size_t i = sizeof(std::uint64_t);
+  while (i < coded.size()) {
+    detail::require(i + 1 < coded.size(), "rle pair truncated");
+    const auto run = static_cast<std::size_t>(coded[i]);
+    const std::byte value = coded[i + 1];
+    detail::require(run > 0, "rle zero-length run");
+    out.insert(out.end(), run, value);
+    i += 2;
+  }
+  detail::require(out.size() == total, "rle decoded length mismatch");
+  return out;
+}
+
+}  // namespace artsparse

@@ -1,0 +1,82 @@
+#include "storage/file_io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "core/error.hpp"
+
+namespace artsparse {
+
+PosixFile::PosixFile(const std::string& path, Mode mode) : path_(path) {
+  if (mode == Mode::kRead) {
+    fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } else {
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                 0644);
+  }
+  if (fd_ < 0) {
+    throw IoError::from_errno("open", path);
+  }
+}
+
+PosixFile::~PosixFile() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void PosixFile::write_all(std::span<const std::byte> data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t rc =
+        ::write(fd_, data.data() + written, data.size() - written);
+    if (rc < 0) {
+      throw IoError::from_errno("write", path_);
+    }
+    written += static_cast<std::size_t>(rc);
+  }
+}
+
+Bytes PosixFile::read_at(std::size_t offset, std::size_t size) {
+  Bytes out(size);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t rc = ::pread(fd_, out.data() + done, size - done,
+                               static_cast<off_t>(offset + done));
+    if (rc < 0) {
+      throw IoError::from_errno("pread", path_);
+    }
+    if (rc == 0) {
+      throw IoError("pread '" + path_ + "': unexpected end of file");
+    }
+    done += static_cast<std::size_t>(rc);
+  }
+  return out;
+}
+
+std::size_t PosixFile::size() const {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    throw IoError::from_errno("fstat", path_);
+  }
+  return static_cast<std::size_t>(st.st_size);
+}
+
+void PosixFile::sync() {
+  if (::fsync(fd_) != 0) {
+    throw IoError::from_errno("fsync", path_);
+  }
+}
+
+Bytes read_file(const std::string& path) {
+  PosixFile file(path, PosixFile::Mode::kRead);
+  return file.read_at(0, file.size());
+}
+
+void write_file(const std::string& path, std::span<const std::byte> data) {
+  PosixFile file(path, PosixFile::Mode::kWriteTruncate);
+  file.write_all(data);
+}
+
+}  // namespace artsparse

@@ -1,0 +1,60 @@
+// RAII POSIX file wrapper. All fragment traffic goes through this layer (or
+// its throttled decorator), so benches can account byte-for-byte for what
+// hits the storage device.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace artsparse {
+
+/// Minimal file-device interface so the throttled Lustre stand-in can wrap
+/// real files transparently.
+class FileDevice {
+ public:
+  virtual ~FileDevice() = default;
+
+  /// Writes the whole buffer at the current end of file.
+  virtual void write_all(std::span<const std::byte> data) = 0;
+
+  /// Reads `size` bytes at `offset`; throws IoError on short reads.
+  virtual Bytes read_at(std::size_t offset, std::size_t size) = 0;
+
+  virtual std::size_t size() const = 0;
+
+  /// Flushes data to the device (fsync for real files).
+  virtual void sync() = 0;
+};
+
+/// Real POSIX file.
+class PosixFile final : public FileDevice {
+ public:
+  enum class Mode { kRead, kWriteTruncate };
+
+  PosixFile(const std::string& path, Mode mode);
+  ~PosixFile() override;
+
+  PosixFile(const PosixFile&) = delete;
+  PosixFile& operator=(const PosixFile&) = delete;
+
+  void write_all(std::span<const std::byte> data) override;
+  Bytes read_at(std::size_t offset, std::size_t size) override;
+  std::size_t size() const override;
+  void sync() override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Convenience helpers for whole-file access.
+Bytes read_file(const std::string& path);
+void write_file(const std::string& path, std::span<const std::byte> data);
+
+}  // namespace artsparse

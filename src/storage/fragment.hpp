@@ -1,0 +1,72 @@
+// Fragment: the on-disk unit of Algorithm 3. A WRITE produces one fragment
+// holding the organization's serialized index concatenated with the
+// (possibly reorganized) value buffer, prefixed by a self-describing header
+// and suffixed by a payload checksum.
+//
+// Layout:
+//   magic u32 | version u32 | org u8 | codec u8 |
+//   shape extents (u64 vec) | bbox flag u8 [+ lo vec + hi vec] |
+//   point count u64 | index length u64 | value count u64 |
+//   value min f64 | value max f64 |
+//   index bytes (codec-encoded) | values (f64) | crc32 u32
+//
+// The value min/max pair is the fragment's statistics block: reads with a
+// value predicate skip whole fragments whose [min, max] cannot match
+// (TileDB-style pushdown). Both are 0 for empty fragments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/box.hpp"
+#include "core/shape.hpp"
+#include "core/types.hpp"
+#include "storage/compress/codec.hpp"
+
+namespace artsparse {
+
+inline constexpr std::uint32_t kFragmentMagic = 0x41535046;  // "ASPF"
+inline constexpr std::uint32_t kFragmentVersion = 1;
+
+/// Decoded fragment contents.
+struct Fragment {
+  OrgKind org = OrgKind::kCoo;
+  CodecKind codec = CodecKind::kIdentity;
+  Shape shape;                   ///< dense tensor shape of the store
+  Box bbox;                      ///< bounding box of stored points
+  std::uint64_t point_count = 0;
+  Bytes index;                   ///< serialized SparseFormat (decoded)
+  std::vector<value_t> values;   ///< reorganized per the build map
+
+  /// Smallest/largest stored value (both 0 when values is empty). Callers
+  /// building a Fragment by hand may leave them default; encode_fragment
+  /// recomputes them from `values`.
+  value_t value_min = 0;
+  value_t value_max = 0;
+};
+
+/// Header-only view, enough for fragment discovery (bounding-box overlap
+/// tests) without decoding payloads.
+struct FragmentInfo {
+  OrgKind org = OrgKind::kCoo;
+  CodecKind codec = CodecKind::kIdentity;
+  Shape shape;
+  Box bbox;
+  std::uint64_t point_count = 0;
+  std::uint64_t index_bytes = 0;   ///< as stored (after codec)
+  std::uint64_t value_count = 0;
+  value_t value_min = 0;
+  value_t value_max = 0;
+};
+
+/// Serializes a fragment (applying its codec to the index section).
+Bytes encode_fragment(const Fragment& fragment);
+
+/// Parses and validates a whole fragment, verifying the checksum and
+/// decoding the index section through the recorded codec.
+Fragment decode_fragment(std::span<const std::byte> data);
+
+/// Parses only the header.
+FragmentInfo decode_fragment_info(std::span<const std::byte> data);
+
+}  // namespace artsparse

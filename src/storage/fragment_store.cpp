@@ -1,0 +1,395 @@
+#include "storage/fragment_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "advisor/advisor.hpp"
+#include "core/error.hpp"
+#include "core/linearize.hpp"
+#include "core/sort.hpp"
+#include "formats/registry.hpp"
+#include "storage/fragment.hpp"
+
+namespace artsparse {
+
+FragmentStore::FragmentStore(std::filesystem::path directory, Shape shape,
+                             DeviceModel model, CodecKind codec)
+    : directory_(std::move(directory)),
+      shape_(std::move(shape)),
+      model_(model),
+      codec_(codec) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  if (ec) {
+    throw IoError("create_directories '" + directory_.string() +
+                  "': " + ec.message());
+  }
+  rescan();
+}
+
+std::filesystem::path FragmentStore::next_fragment_path() {
+  char name[32];
+  std::snprintf(name, sizeof(name), "frag_%06zu.asf", next_id_++);
+  return directory_ / name;
+}
+
+WriteResult FragmentStore::write(const CoordBuffer& coords,
+                                 std::span<const value_t> values,
+                                 OrgKind org) {
+  detail::require(coords.size() == values.size(),
+                  "coordinate and value counts differ");
+  WriteResult result;
+  result.point_count = coords.size();
+
+  // Build the organization (Algorithm 3 line 4).
+  WallTimer timer;
+  auto format = make_format(org);
+  const std::vector<std::size_t> map = format->build(coords, shape_);
+  result.times.build = timer.seconds();
+
+  // Reorganize b_data based on map if necessary (line 5). COO/LINEAR return
+  // the identity; skip the gather entirely, matching the paper's zero-cost
+  // "Reorg." rows for them.
+  timer.reset();
+  std::vector<value_t> reorganized;
+  bool identity = true;
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    if (map[i] != i) {
+      identity = false;
+      break;
+    }
+  }
+  if (identity) {
+    reorganized.assign(values.begin(), values.end());
+  } else {
+    reorganized.resize(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      reorganized[map[i]] = values[i];
+    }
+  }
+  result.times.reorg = timer.seconds();
+
+  // Concatenate buffers and build the fragment (lines 6-7, "Others").
+  timer.reset();
+  Fragment fragment;
+  fragment.org = org;
+  fragment.codec = codec_;
+  fragment.shape = shape_;
+  fragment.bbox = coords.empty() ? Box() : Box::bounding(coords);
+  fragment.point_count = coords.size();
+  fragment.index = serialize_format(*format);
+  result.index_bytes = fragment.index.size();
+  fragment.values = std::move(reorganized);
+  const Bytes encoded = encode_fragment(fragment);
+  const std::filesystem::path path = next_fragment_path();
+  result.times.others = timer.seconds();
+
+  // Write the fragment to the (possibly throttled) device (line 7).
+  timer.reset();
+  {
+    auto device = open_for_write(path.string(), model_);
+    device->write_all(encoded);
+    device->sync();
+  }
+  result.times.write = timer.seconds();
+
+  result.path = path.string();
+  result.file_bytes = encoded.size();
+  value_t lo = 0;
+  value_t hi = 0;
+  if (!fragment.values.empty()) {
+    const auto [min_it, max_it] =
+        std::minmax_element(fragment.values.begin(), fragment.values.end());
+    lo = *min_it;
+    hi = *max_it;
+  }
+  fragments_.push_back(
+      Entry{path, fragment.bbox, org, encoded.size(), lo, hi});
+  rtree_dirty_ = true;
+  return result;
+}
+
+std::vector<const FragmentStore::Entry*> FragmentStore::discover(
+    const Box& box) const {
+  std::vector<const Entry*> hits;
+  if (fragments_.size() < kRtreeThreshold) {
+    for (const Entry& entry : fragments_) {
+      if (!entry.bbox.empty() && entry.bbox.overlaps(box)) {
+        hits.push_back(&entry);
+      }
+    }
+    return hits;
+  }
+  if (rtree_dirty_) {
+    // Empty-bbox fragments (zero points) can never overlap; give them a
+    // degenerate placeholder the tree accepts, then filter on visit.
+    std::vector<Box> boxes;
+    boxes.reserve(fragments_.size());
+    const Box placeholder(std::vector<index_t>(shape_.rank(), 0),
+                          std::vector<index_t>(shape_.rank(), 0));
+    for (const Entry& entry : fragments_) {
+      boxes.push_back(entry.bbox.empty() ? placeholder : entry.bbox);
+    }
+    rtree_ = RTree::bulk_load(boxes);
+    rtree_dirty_ = false;
+  }
+  rtree_.visit(box, [&](std::size_t id) {
+    const Entry& entry = fragments_[id];
+    if (!entry.bbox.empty() && entry.bbox.overlaps(box)) {
+      hits.push_back(&entry);
+    }
+  });
+  // Keep write order (the linear path's order) for deterministic results.
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+ReadResult FragmentStore::read(const CoordBuffer& queries) const {
+  ReadResult result;
+  if (queries.empty()) {
+    result.coords = CoordBuffer(shape_.rank());
+    return result;
+  }
+  detail::require(queries.rank() == shape_.rank(),
+                  "query rank does not match store shape");
+
+  // Find all fragments containing b_coor (line 4): bounding-box overlap.
+  WallTimer timer;
+  const Box query_box = Box::bounding(queries);
+  const std::vector<const Entry*> hits = discover(query_box);
+  result.times.discover = timer.seconds();
+  result.fragments_visited = hits.size();
+
+  // Per fragment: extract the index, search, collect <coor, value> (lines
+  // 6-11).
+  std::vector<std::size_t> found_query;   // query index of each hit
+  std::vector<value_t> found_value;
+  for (const Entry* entry : hits) {
+    timer.reset();
+    Bytes raw;
+    {
+      auto device = open_for_read(entry->path.string(), model_);
+      raw = device->read_at(0, device->size());
+    }
+    const Fragment fragment = decode_fragment(raw);
+    auto format = make_format(fragment.org);
+    {
+      BufferReader reader(fragment.index);
+      format->load(reader);
+    }
+    result.times.extract += timer.seconds();
+
+    // Organization-specific existence search (line 9).
+    timer.reset();
+    const std::vector<std::size_t> slots = format->read(queries);
+    for (std::size_t q = 0; q < slots.size(); ++q) {
+      if (slots[q] != kNotFound) {
+        detail::require(slots[q] < fragment.values.size(),
+                        "format returned slot beyond value buffer");
+        found_query.push_back(q);
+        found_value.push_back(fragment.values[slots[q]]);
+      }
+    }
+    result.times.query += timer.seconds();
+  }
+
+  // Sort L by linear address and populate the output buffer (lines 12-13).
+  timer.reset();
+  std::vector<index_t> addresses(found_query.size());
+  for (std::size_t i = 0; i < found_query.size(); ++i) {
+    addresses[i] = linearize(queries.point(found_query[i]), shape_);
+  }
+  const std::vector<std::size_t> order = sort_permutation(addresses);
+  result.coords = CoordBuffer(shape_.rank());
+  result.coords.reserve(order.size());
+  result.values.reserve(order.size());
+  for (std::size_t rank : order) {
+    result.coords.append(queries.point(found_query[rank]));
+    result.values.push_back(found_value[rank]);
+  }
+  result.times.merge = timer.seconds();
+  return result;
+}
+
+ReadResult FragmentStore::read_region(const Box& region) const {
+  detail::require(region.rank() == shape_.rank(),
+                  "region rank does not match store shape");
+  CoordBuffer queries(shape_.rank());
+  enumerate_cells(region, queries);
+  return read(queries);
+}
+
+ReadResult FragmentStore::scan_region(const Box& region) const {
+  return scan_region_where(region, ValueRange{});
+}
+
+ReadResult FragmentStore::scan_region_where(const Box& region,
+                                            const ValueRange& range) const {
+  detail::require(region.rank() == shape_.rank(),
+                  "region rank does not match store shape");
+  detail::require(range.min <= range.max, "value range is inverted");
+  ReadResult result;
+  WallTimer timer;
+  // Discovery prunes on both axes: spatial overlap (R-tree backed for
+  // large stores) and the fragment's value statistics vs the predicate.
+  std::vector<const Entry*> hits = discover(region);
+  std::erase_if(hits, [&](const Entry* entry) {
+    return !range.overlaps(entry->value_min, entry->value_max);
+  });
+  result.times.discover = timer.seconds();
+  result.fragments_visited = hits.size();
+
+  CoordBuffer found(shape_.rank());
+  std::vector<value_t> values;
+  for (const Entry* entry : hits) {
+    timer.reset();
+    Bytes raw;
+    {
+      auto device = open_for_read(entry->path.string(), model_);
+      raw = device->read_at(0, device->size());
+    }
+    const Fragment fragment = decode_fragment(raw);
+    auto format = make_format(fragment.org);
+    {
+      BufferReader reader(fragment.index);
+      format->load(reader);
+    }
+    result.times.extract += timer.seconds();
+
+    timer.reset();
+    std::vector<std::size_t> slots;
+    CoordBuffer scanned(shape_.rank());
+    format->scan_box(region, scanned, slots);
+    detail::require(scanned.size() == slots.size(),
+                    "scan_box points/slots length mismatch");
+    for (std::size_t k = 0; k < slots.size(); ++k) {
+      detail::require(slots[k] < fragment.values.size(),
+                      "format returned slot beyond value buffer");
+      const value_t value = fragment.values[slots[k]];
+      if (range.matches(value)) {
+        found.append(scanned.point(k));
+        values.push_back(value);
+      }
+    }
+    result.times.query += timer.seconds();
+  }
+
+  timer.reset();
+  std::vector<index_t> addresses(found.size());
+  for (std::size_t i = 0; i < found.size(); ++i) {
+    addresses[i] = linearize(found.point(i), shape_);
+  }
+  const std::vector<std::size_t> order = sort_permutation(addresses);
+  result.coords = CoordBuffer(shape_.rank());
+  result.coords.reserve(order.size());
+  result.values.reserve(order.size());
+  for (std::size_t rank : order) {
+    result.coords.append(found.point(rank));
+    result.values.push_back(values[rank]);
+  }
+  result.times.merge = timer.seconds();
+  return result;
+}
+
+WriteResult FragmentStore::consolidate(std::optional<OrgKind> org) {
+  // Gather every stored cell, later fragments overriding earlier ones
+  // (fragments_ is in write order; rescan() sorts by filename, which names
+  // fragments in write order too).
+  std::map<index_t, value_t> cells;
+  const Box whole = Box::whole(shape_);
+  for (const Entry& entry : fragments_) {
+    Bytes raw;
+    {
+      auto device = open_for_read(entry.path.string(), model_);
+      raw = device->read_at(0, device->size());
+    }
+    const Fragment fragment = decode_fragment(raw);
+    auto format = make_format(fragment.org);
+    {
+      BufferReader reader(fragment.index);
+      format->load(reader);
+    }
+    CoordBuffer points(shape_.rank());
+    std::vector<std::size_t> slots;
+    format->scan_box(whole, points, slots);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      cells[linearize(points.point(i), shape_)] =
+          fragment.values[slots[i]];
+    }
+  }
+
+  CoordBuffer coords(shape_.rank());
+  std::vector<value_t> values;
+  coords.reserve(cells.size());
+  values.reserve(cells.size());
+  std::vector<index_t> point(shape_.rank());
+  for (const auto& [address, value] : cells) {
+    delinearize(address, shape_, point);
+    coords.append(point);
+    values.push_back(value);
+  }
+
+  OrgKind chosen;
+  if (org.has_value()) {
+    chosen = *org;
+  } else if (coords.empty()) {
+    chosen = OrgKind::kLinear;  // nothing to profile; any compact default
+  } else {
+    chosen = recommend_organization(profile_sparsity(coords, shape_),
+                                    WorkloadWeights::balanced())
+                 .best()
+                 .org;
+  }
+
+  clear();
+  return write(coords, values, chosen);
+}
+
+void FragmentStore::rescan() {
+  fragments_.clear();
+  rtree_dirty_ = true;
+  next_id_ = 0;
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".asf") {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    const Bytes raw = read_file(path.string());
+    const FragmentInfo info = decode_fragment_info(raw);
+    detail::require(info.shape == shape_,
+                    "fragment shape does not match store shape: " +
+                        path.string());
+    fragments_.push_back(Entry{path, info.bbox, info.org, raw.size(),
+                               info.value_min, info.value_max});
+    // Keep new fragment names past any existing id, even with gaps.
+    std::size_t id = 0;
+    if (std::sscanf(path.filename().string().c_str(), "frag_%zu.asf", &id) ==
+        1) {
+      next_id_ = std::max(next_id_, id + 1);
+    }
+  }
+}
+
+void FragmentStore::clear() {
+  for (const Entry& entry : fragments_) {
+    std::error_code ec;
+    std::filesystem::remove(entry.path, ec);
+  }
+  fragments_.clear();
+  rtree_dirty_ = true;
+  next_id_ = 0;
+}
+
+std::size_t FragmentStore::total_file_bytes() const {
+  std::size_t total = 0;
+  for (const Entry& entry : fragments_) {
+    total += entry.file_bytes;
+  }
+  return total;
+}
+
+}  // namespace artsparse

@@ -1,0 +1,153 @@
+// FragmentStore: the experiment system of Algorithm 3. A directory-backed
+// store over one logical sparse tensor; WRITE packages a coordinate/value
+// batch with a chosen organization into a new fragment file, READ discovers
+// every fragment overlapping a query, resolves points with the
+// organization-specific search, and merges results in linear-address order.
+//
+// The store doubles as the paper's benchmark instrument: both operations
+// return the phase-by-phase time breakdowns reported in Table III and the
+// discussion of Fig. 5.
+#pragma once
+
+#include <filesystem>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/box.hpp"
+#include "core/coords.hpp"
+#include "core/shape.hpp"
+#include "core/timer.hpp"
+#include "core/types.hpp"
+#include "storage/compress/codec.hpp"
+#include "storage/rtree.hpp"
+#include "storage/throttle.hpp"
+
+namespace artsparse {
+
+/// Outcome of one WRITE (Algorithm 3 lines 1-8).
+struct WriteResult {
+  std::string path;            ///< fragment file written
+  std::size_t file_bytes = 0;  ///< total fragment size on disk
+  std::size_t index_bytes = 0; ///< organization index size (Fig. 4 metric)
+  std::size_t point_count = 0;
+  WriteBreakdown times;
+};
+
+/// Outcome of one READ (Algorithm 3 lines 1-15): the found points, sorted
+/// by ascending linear address within the store's tensor shape.
+struct ReadResult {
+  CoordBuffer coords;
+  std::vector<value_t> values;
+  std::size_t fragments_visited = 0;
+  ReadBreakdown times;
+};
+
+/// Inclusive value interval for predicate reads. Defaults accept anything.
+struct ValueRange {
+  value_t min = std::numeric_limits<value_t>::lowest();
+  value_t max = std::numeric_limits<value_t>::max();
+
+  bool matches(value_t v) const { return v >= min && v <= max; }
+  bool overlaps(value_t lo, value_t hi) const {
+    return hi >= min && lo <= max;
+  }
+
+  static ValueRange at_least(value_t v) {
+    return ValueRange{v, std::numeric_limits<value_t>::max()};
+  }
+  static ValueRange at_most(value_t v) {
+    return ValueRange{std::numeric_limits<value_t>::lowest(), v};
+  }
+};
+
+/// Directory-backed fragment store for one sparse tensor.
+class FragmentStore {
+ public:
+  /// Creates/opens `directory` for a tensor of `shape`. Fragment traffic is
+  /// throttled per `model`; index sections are compressed with `codec`.
+  FragmentStore(std::filesystem::path directory, Shape shape,
+                DeviceModel model = DeviceModel::unthrottled(),
+                CodecKind codec = CodecKind::kIdentity);
+
+  /// Algorithm 3 WRITE: builds `org`'s index over `coords`, reorganizes
+  /// `values` by the build map, concatenates, and writes one fragment.
+  WriteResult write(const CoordBuffer& coords,
+                    std::span<const value_t> values, OrgKind org);
+
+  /// Algorithm 3 READ for an arbitrary coordinate list.
+  ReadResult read(const CoordBuffer& queries) const;
+
+  /// READ over every cell of a contiguous region (the paper's read test:
+  /// origin (m/2, ...), size (m/10, ...)). Faithful to Algorithm 3: one
+  /// existence query per region cell.
+  ReadResult read_region(const Box& region) const;
+
+  /// Region read via the formats' native box scans: touches only stored
+  /// entries instead of querying every cell, so cost tracks the number of
+  /// hits rather than the region volume. Same results (linear-address
+  /// order) as read_region.
+  ReadResult scan_region(const Box& region) const;
+
+  /// scan_region restricted to values inside `range`. Fragments whose
+  /// recorded [min, max] statistics cannot intersect the range are skipped
+  /// without being opened (predicate pushdown, as TileDB/HDF5 filters do).
+  ReadResult scan_region_where(const Box& region,
+                               const ValueRange& range) const;
+
+  /// Consolidates the whole store into a single fragment (TileDB-style
+  /// compaction): reads every point, deduplicates cells written more than
+  /// once keeping the *latest* write, deletes the old fragments, and
+  /// rewrites with `org` (or, when unset, whatever the advisor's balanced
+  /// cost model recommends for the merged data). Returns the write result
+  /// of the new fragment.
+  WriteResult consolidate(std::optional<OrgKind> org = std::nullopt);
+
+  /// Re-scans the directory, picking up fragments written by other store
+  /// instances (header-only reads).
+  void rescan();
+
+  /// Deletes every fragment file and forgets them.
+  void clear();
+
+  std::size_t fragment_count() const { return fragments_.size(); }
+  const Shape& tensor_shape() const { return shape_; }
+  const std::filesystem::path& directory() const { return directory_; }
+
+  /// Total bytes across all fragment files (Fig. 4's file-size metric).
+  std::size_t total_file_bytes() const;
+
+ private:
+  struct Entry {
+    std::filesystem::path path;
+    Box bbox;
+    OrgKind org;
+    std::size_t file_bytes = 0;
+    value_t value_min = 0;  ///< statistics block, for predicate pushdown
+    value_t value_max = 0;
+  };
+
+  std::filesystem::path next_fragment_path();
+
+  /// Fragments whose bounding box overlaps `box` (Algorithm 3 line 4).
+  /// Linear scan for small stores; an STR R-tree over the fragment boxes
+  /// (rebuilt lazily after appends) once the store passes
+  /// kRtreeThreshold fragments.
+  std::vector<const Entry*> discover(const Box& box) const;
+
+  static constexpr std::size_t kRtreeThreshold = 32;
+
+  std::filesystem::path directory_;
+  Shape shape_;
+  DeviceModel model_;
+  CodecKind codec_;
+  std::vector<Entry> fragments_;
+  std::size_t next_id_ = 0;
+  /// Lazily (re)built spatial index; mutable because discovery is
+  /// logically const. Not thread-safe across concurrent first reads.
+  mutable RTree rtree_;
+  mutable bool rtree_dirty_ = true;
+};
+
+}  // namespace artsparse

@@ -1,0 +1,139 @@
+#include "storage/rtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace artsparse {
+
+namespace {
+
+/// Smallest box covering a and b.
+Box cover(const Box& a, const Box& b) {
+  std::vector<index_t> lo(a.rank());
+  std::vector<index_t> hi(a.rank());
+  for (std::size_t i = 0; i < a.rank(); ++i) {
+    lo[i] = std::min(a.lo(i), b.lo(i));
+    hi[i] = std::max(a.hi(i), b.hi(i));
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+/// STR: recursively sort-and-tile `ids` (indices into boxes) by the center
+/// along `dim`, slicing into groups that each hold ~fanout^(remaining
+/// dims / d) entries so the final tiles have about `fanout` members.
+void str_tile(const std::vector<Box>& boxes, std::vector<std::size_t>& ids,
+              std::size_t begin, std::size_t end, std::size_t dim,
+              std::size_t fanout,
+              std::vector<std::pair<std::size_t, std::size_t>>& tiles) {
+  const std::size_t n = end - begin;
+  const std::size_t rank = boxes[ids[begin]].rank();
+  if (n <= fanout || dim + 1 == rank) {
+    // Final dimension: sort and emit consecutive tiles of `fanout`.
+    std::sort(ids.begin() + static_cast<std::ptrdiff_t>(begin),
+              ids.begin() + static_cast<std::ptrdiff_t>(end),
+              [&](std::size_t a, std::size_t b) {
+                return boxes[a].lo(dim) + boxes[a].hi(dim) <
+                       boxes[b].lo(dim) + boxes[b].hi(dim);
+              });
+    for (std::size_t at = begin; at < end; at += fanout) {
+      tiles.emplace_back(at, std::min(end, at + fanout));
+    }
+    return;
+  }
+
+  std::sort(ids.begin() + static_cast<std::ptrdiff_t>(begin),
+            ids.begin() + static_cast<std::ptrdiff_t>(end),
+            [&](std::size_t a, std::size_t b) {
+              return boxes[a].lo(dim) + boxes[a].hi(dim) <
+                     boxes[b].lo(dim) + boxes[b].hi(dim);
+            });
+  // Number of vertical slabs: ceil((n/fanout)^(1/(rank-dim))).
+  const double leaves = std::ceil(static_cast<double>(n) /
+                                  static_cast<double>(fanout));
+  const double exponent = 1.0 / static_cast<double>(rank - dim);
+  const auto slabs = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(std::pow(leaves, exponent))));
+  const std::size_t per_slab = (n + slabs - 1) / slabs;
+  for (std::size_t at = begin; at < end; at += per_slab) {
+    str_tile(boxes, ids, at, std::min(end, at + per_slab), dim + 1, fanout,
+             tiles);
+  }
+}
+
+}  // namespace
+
+RTree RTree::bulk_load(const std::vector<Box>& boxes, std::size_t fanout) {
+  detail::require(fanout >= 2, "R-tree fanout must be >= 2");
+  RTree tree;
+  tree.entry_boxes_ = boxes;
+  tree.leaf_count_ = boxes.size();
+  if (boxes.empty()) return tree;
+  const std::size_t rank = boxes[0].rank();
+  for (const Box& box : boxes) {
+    detail::require(!box.empty() && box.rank() == rank,
+                    "R-tree boxes must be non-empty and of equal rank");
+  }
+
+  // Leaf level: STR-tile the entries.
+  std::vector<std::size_t> ids(boxes.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  std::vector<std::pair<std::size_t, std::size_t>> tiles;
+  str_tile(boxes, ids, 0, ids.size(), 0, fanout, tiles);
+
+  std::vector<std::size_t> level;  // node indices of the current level
+  for (const auto& [begin, end] : tiles) {
+    Node node;
+    node.leaf = true;
+    node.children.assign(ids.begin() + static_cast<std::ptrdiff_t>(begin),
+                         ids.begin() + static_cast<std::ptrdiff_t>(end));
+    node.bbox = boxes[node.children[0]];
+    for (std::size_t child : node.children) {
+      node.bbox = cover(node.bbox, boxes[child]);
+    }
+    level.push_back(tree.nodes_.size());
+    tree.nodes_.push_back(std::move(node));
+  }
+
+  // Internal levels: pack groups of `fanout` nodes until one root remains.
+  while (level.size() > 1) {
+    std::vector<std::size_t> next;
+    for (std::size_t at = 0; at < level.size(); at += fanout) {
+      Node node;
+      node.leaf = false;
+      const std::size_t end = std::min(level.size(), at + fanout);
+      node.children.assign(level.begin() + static_cast<std::ptrdiff_t>(at),
+                           level.begin() + static_cast<std::ptrdiff_t>(end));
+      node.bbox = tree.nodes_[node.children[0]].bbox;
+      for (std::size_t child : node.children) {
+        node.bbox = cover(node.bbox, tree.nodes_[child].bbox);
+      }
+      next.push_back(tree.nodes_.size());
+      tree.nodes_.push_back(std::move(node));
+    }
+    level = std::move(next);
+  }
+  tree.root_ = level.front();
+  return tree;
+}
+
+std::vector<std::size_t> RTree::query(const Box& query) const {
+  std::vector<std::size_t> hits;
+  visit(query, [&](std::size_t id) { hits.push_back(id); });
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+std::size_t RTree::height() const {
+  if (nodes_.empty()) return 0;
+  std::size_t levels = 1;
+  std::size_t node = root_;
+  while (!nodes_[node].leaf) {
+    node = nodes_[node].children.front();
+    ++levels;
+  }
+  return levels;
+}
+
+}  // namespace artsparse

@@ -1,0 +1,77 @@
+// Bulk-loaded R-tree over bounding boxes (Sort-Tile-Recursive packing).
+//
+// The paper scopes R-trees out as "primarily used to index blocks of
+// points" — i.e. the layer *above* the sparse organizations. That is
+// exactly where this one sits: FragmentStore uses it to find the fragments
+// overlapping a query without scanning every fragment's bounding box, which
+// matters once a store holds thousands of tile fragments.
+//
+// Immutable once built (stores rebuild lazily after appends); queries are
+// read-only and thread-safe.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/box.hpp"
+
+namespace artsparse {
+
+class RTree {
+ public:
+  RTree() = default;
+
+  /// Packs `boxes` (all the same rank, none empty) with STR: entries are
+  /// sorted by center along each dimension in turn and tiled into nodes of
+  /// up to `fanout` children. Query results carry each box's index in the
+  /// input vector.
+  static RTree bulk_load(const std::vector<Box>& boxes,
+                         std::size_t fanout = 16);
+
+  /// Indices of all input boxes overlapping `query`, ascending.
+  std::vector<std::size_t> query(const Box& query) const;
+
+  /// Visits each overlapping input-box index (avoids the result vector).
+  template <typename Fn>
+  void visit(const Box& query, Fn&& fn) const {
+    if (nodes_.empty()) return;
+    visit_node(root_, query, fn);
+  }
+
+  std::size_t size() const { return leaf_count_; }
+  bool empty() const { return leaf_count_ == 0; }
+
+  /// Height of the tree (0 when empty, 1 for a single leaf node).
+  std::size_t height() const;
+
+ private:
+  struct Node {
+    Box bbox;
+    /// Children: node indices for internal nodes, input-box indices for
+    /// leaves.
+    std::vector<std::size_t> children;
+    bool leaf = true;
+  };
+
+  template <typename Fn>
+  void visit_node(std::size_t node_index, const Box& query, Fn& fn) const {
+    const Node& node = nodes_[node_index];
+    if (!node.bbox.overlaps(query)) return;
+    for (std::size_t child : node.children) {
+      if (node.leaf) {
+        if (entry_boxes_[child].overlaps(query)) {
+          fn(child);
+        }
+      } else {
+        visit_node(child, query, fn);
+      }
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<Box> entry_boxes_;  ///< copy of the inputs, for leaf tests
+  std::size_t root_ = 0;
+  std::size_t leaf_count_ = 0;
+};
+
+}  // namespace artsparse

@@ -1,0 +1,68 @@
+#include "storage/throttle.hpp"
+
+#include "core/timer.hpp"
+
+namespace artsparse {
+
+ThrottledFile::ThrottledFile(std::unique_ptr<FileDevice> inner,
+                             DeviceModel model)
+    : inner_(std::move(inner)), model_(model) {}
+
+void ThrottledFile::charge(double seconds, double already_spent) const {
+  if (seconds <= already_spent) return;
+  WallTimer timer;
+  const double remaining = seconds - already_spent;
+  while (timer.seconds() < remaining) {
+    // Deterministic spin: keeps the charged time proportional to bytes
+    // moved without depending on scheduler sleep granularity.
+  }
+}
+
+void ThrottledFile::write_all(std::span<const std::byte> data) {
+  WallTimer timer;
+  inner_->write_all(data);
+  if (model_.throttled()) {
+    const double modeled =
+        model_.latency_sec +
+        static_cast<double>(data.size()) / model_.bandwidth_bytes_per_sec;
+    charge(modeled, timer.seconds());
+  }
+}
+
+Bytes ThrottledFile::read_at(std::size_t offset, std::size_t size) {
+  WallTimer timer;
+  Bytes out = inner_->read_at(offset, size);
+  if (model_.throttled()) {
+    const double modeled =
+        model_.latency_sec +
+        static_cast<double>(size) / model_.bandwidth_bytes_per_sec;
+    charge(modeled, timer.seconds());
+  }
+  return out;
+}
+
+std::size_t ThrottledFile::size() const { return inner_->size(); }
+
+void ThrottledFile::sync() {
+  // The model's bandwidth charge already covers the transfer reaching the
+  // simulated device; a real fsync would add host-filesystem noise (tens of
+  // milliseconds of jitter) that has nothing to do with the modeled device,
+  // so durability is intentionally not forced here.
+}
+
+std::unique_ptr<FileDevice> open_for_write(const std::string& path,
+                                           const DeviceModel& model) {
+  auto file =
+      std::make_unique<PosixFile>(path, PosixFile::Mode::kWriteTruncate);
+  if (!model.throttled()) return file;
+  return std::make_unique<ThrottledFile>(std::move(file), model);
+}
+
+std::unique_ptr<FileDevice> open_for_read(const std::string& path,
+                                          const DeviceModel& model) {
+  auto file = std::make_unique<PosixFile>(path, PosixFile::Mode::kRead);
+  if (!model.throttled()) return file;
+  return std::make_unique<ThrottledFile>(std::move(file), model);
+}
+
+}  // namespace artsparse

@@ -1,0 +1,79 @@
+// TiledStore: block-decomposed fragment storage. Incoming batches are
+// split by tile; each non-empty tile becomes its own fragment whose
+// bounding box lies inside the tile, so region reads prune whole tiles via
+// the store's bounding-box discovery. The organization per tile is either
+// fixed or chosen per tile by the advisor's cost model from that tile's
+// own sparsity profile (the paper's future work, applied at block
+// granularity — different regions of one tensor can genuinely prefer
+// different organizations, e.g. MSP's dense block vs its random background).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "advisor/advisor.hpp"
+#include "storage/fragment_store.hpp"
+#include "tiles/tile_grid.hpp"
+
+namespace artsparse {
+
+/// How the per-tile organization is chosen.
+struct TilePolicy {
+  /// Fixed organization for every tile; ignored when `automatic`.
+  OrgKind org = OrgKind::kGcsr;
+  /// Choose per tile via the advisor cost model.
+  bool automatic = false;
+  /// Advisor inputs when automatic.
+  WorkloadWeights weights = WorkloadWeights::balanced();
+  double queries_per_write = 1.0;
+
+  static TilePolicy fixed(OrgKind org) { return TilePolicy{org, false, {}, 1.0}; }
+  static TilePolicy advisor(WorkloadWeights weights =
+                                WorkloadWeights::balanced(),
+                            double queries_per_write = 1.0) {
+    return TilePolicy{OrgKind::kGcsr, true, weights, queries_per_write};
+  }
+};
+
+/// Per-write accounting, aggregated over the tiles the batch touched.
+struct TiledWriteResult {
+  std::size_t tiles_written = 0;
+  std::size_t point_count = 0;
+  std::size_t file_bytes = 0;
+  std::size_t index_bytes = 0;
+  WriteBreakdown times;  ///< summed across tiles
+  /// Organization chosen per tile id (what the advisor decided).
+  std::map<index_t, OrgKind> tile_orgs;
+};
+
+class TiledStore {
+ public:
+  TiledStore(std::filesystem::path directory, TileGrid grid,
+             TilePolicy policy = TilePolicy::fixed(OrgKind::kGcsr),
+             DeviceModel model = DeviceModel::unthrottled(),
+             CodecKind codec = CodecKind::kIdentity);
+
+  /// Splits the batch by tile and writes one fragment per non-empty tile.
+  TiledWriteResult write(const CoordBuffer& coords,
+                         std::span<const value_t> values);
+
+  /// Region read; fragments from non-overlapping tiles are never opened.
+  ReadResult read_region(const Box& region) const;
+
+  /// Region read via native box scans (see FragmentStore::scan_region).
+  ReadResult scan_region(const Box& region) const;
+
+  /// Point-set read (Algorithm 3 READ semantics).
+  ReadResult read(const CoordBuffer& queries) const;
+
+  const TileGrid& grid() const { return grid_; }
+  std::size_t fragment_count() const { return store_.fragment_count(); }
+  std::size_t total_file_bytes() const { return store_.total_file_bytes(); }
+
+ private:
+  TileGrid grid_;
+  TilePolicy policy_;
+  FragmentStore store_;
+};
+
+}  // namespace artsparse

@@ -1,0 +1,126 @@
+#include "formats/bcsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sort.hpp"
+#include "formats/linear.hpp"
+#include "test_support.hpp"
+
+namespace artsparse {
+namespace {
+
+using testing::fig1_coords;
+using testing::fig1_shape;
+
+TEST(Bcsr, Fig1Structure) {
+  // Fig. 1 local boundary -> 2-D shape 2x9 (like GCSR++), cells (0,0),
+  // (0,2), (0,3), (1,7), (1,8). One block row, blocks (0,0) and (0,1).
+  BcsrFormat bcsr;
+  const auto map = bcsr.build(fig1_coords(), fig1_shape());
+  EXPECT_EQ(bcsr.rows(), 2u);
+  EXPECT_EQ(bcsr.cols(), 9u);
+  ASSERT_EQ(bcsr.block_count(), 2u);
+  EXPECT_EQ(bcsr.block_col()[0], 0u);
+  EXPECT_EQ(bcsr.block_col()[1], 1u);
+  // Block (0,0): bits (0,0)=0, (0,2)=2, (0,3)=3, (1,7)=15.
+  EXPECT_EQ(bcsr.block_bitmap()[0],
+            (1ull << 0) | (1ull << 2) | (1ull << 3) | (1ull << 15));
+  // Block (0,1): cell (1,8) -> local col 0, row 1 -> bit 8.
+  EXPECT_EQ(bcsr.block_bitmap()[1], 1ull << 8);
+  EXPECT_TRUE(is_permutation_of_iota(map));
+}
+
+TEST(Bcsr, LookupThroughMap) {
+  BcsrFormat bcsr;
+  const CoordBuffer coords = fig1_coords();
+  const auto map = bcsr.build(coords, fig1_shape());
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    EXPECT_EQ(bcsr.lookup(coords.point(i)), map[i]);
+  }
+  const std::vector<index_t> absent{0, 0, 2};
+  const std::vector<index_t> outside{0, 0, 0};
+  EXPECT_EQ(bcsr.lookup(absent), kNotFound);
+  EXPECT_EQ(bcsr.lookup(outside), kNotFound);
+}
+
+TEST(Bcsr, DenseBlockCompressesFarBelowLinear) {
+  // A fully dense 32x32 patch: 1024 points. LINEAR stores 1024 words;
+  // BCSR stores 16 blocks x ~4 words.
+  CoordBuffer coords(2);
+  for (index_t r = 100; r < 132; ++r) {
+    for (index_t c = 200; c < 232; ++c) {
+      coords.append({r, c});
+    }
+  }
+  const Shape shape{512, 512};
+  BcsrFormat bcsr;
+  bcsr.build(coords, shape);
+  LinearFormat linear;
+  linear.build(coords, shape);
+  EXPECT_LT(bcsr.index_bytes(), linear.index_bytes() / 4);
+  EXPECT_EQ(bcsr.block_count(), 16u);
+  // Every point still resolves.
+  for (std::size_t i = 0; i < coords.size(); i += 37) {
+    EXPECT_NE(bcsr.lookup(coords.point(i)), kNotFound);
+  }
+}
+
+TEST(Bcsr, SlotsArePackedNotPadded) {
+  // Two sparse points in one block: slots 0 and 1, not bit positions.
+  CoordBuffer coords(2);
+  coords.append({0, 0});
+  coords.append({7, 7});
+  BcsrFormat bcsr;
+  const auto map = bcsr.build(coords, Shape{16, 16});
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(bcsr.lookup(coords.point(0)), map[0]);
+  EXPECT_EQ(bcsr.lookup(coords.point(1)), map[1]);
+  EXPECT_LT(std::max(map[0], map[1]), 2u);
+}
+
+TEST(Bcsr, SaveLoadRoundTrip) {
+  BcsrFormat bcsr;
+  const CoordBuffer coords = fig1_coords();
+  const auto map = bcsr.build(coords, fig1_shape());
+  BcsrFormat fresh;
+  testing::reload(bcsr, fresh);
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    EXPECT_EQ(fresh.lookup(coords.point(i)), map[i]);
+  }
+}
+
+TEST(Bcsr, CorruptPopcountRejectedOnLoad) {
+  BcsrFormat bcsr;
+  bcsr.build(fig1_coords(), fig1_shape());
+  BufferWriter writer;
+  bcsr.save(writer);
+  Bytes bytes = writer.take();
+  // Flip a bitmap bit: the popcount/block_start invariants must catch it.
+  bytes[bytes.size() - 8 * 5] ^= std::byte{0x01};
+  BcsrFormat fresh;
+  BufferReader reader(bytes);
+  EXPECT_THROW(fresh.load(reader), FormatError);
+}
+
+TEST(Bcsr, EmptyBuild) {
+  BcsrFormat bcsr;
+  EXPECT_TRUE(bcsr.build(CoordBuffer(2), Shape{8, 8}).empty());
+  const std::vector<index_t> point{0, 0};
+  EXPECT_EQ(bcsr.lookup(point), kNotFound);
+  EXPECT_EQ(bcsr.block_count(), 0u);
+}
+
+TEST(Bcsr, HighRankViaGcsrMapping) {
+  CoordBuffer coords(4);
+  coords.append({1, 2, 3, 4});
+  coords.append({1, 2, 3, 5});
+  coords.append({5, 5, 5, 5});
+  BcsrFormat bcsr;
+  const auto map = bcsr.build(coords, Shape{8, 8, 8, 8});
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    EXPECT_EQ(bcsr.lookup(coords.point(i)), map[i]);
+  }
+}
+
+}  // namespace
+}  // namespace artsparse

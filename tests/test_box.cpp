@@ -1,0 +1,138 @@
+#include "core/box.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/coords.hpp"
+#include "core/error.hpp"
+
+namespace artsparse {
+namespace {
+
+TEST(Box, WholeShape) {
+  const Box box = Box::whole(Shape{3, 4});
+  EXPECT_EQ(box.lo(0), 0u);
+  EXPECT_EQ(box.hi(0), 2u);
+  EXPECT_EQ(box.lo(1), 0u);
+  EXPECT_EQ(box.hi(1), 3u);
+  EXPECT_EQ(box.cell_count(), 12u);
+}
+
+TEST(Box, FromOriginSize) {
+  const std::vector<index_t> origin{10, 20};
+  const std::vector<index_t> size{5, 2};
+  const Box box = Box::from_origin_size(origin, size);
+  EXPECT_EQ(box.lo(0), 10u);
+  EXPECT_EQ(box.hi(0), 14u);
+  EXPECT_EQ(box.lo(1), 20u);
+  EXPECT_EQ(box.hi(1), 21u);
+}
+
+TEST(Box, FromOriginZeroSizeRejected) {
+  const std::vector<index_t> origin{0};
+  const std::vector<index_t> size{0};
+  EXPECT_THROW(Box::from_origin_size(origin, size), FormatError);
+}
+
+TEST(Box, BoundingOfCoordBuffer) {
+  CoordBuffer coords(3);
+  coords.append({0, 0, 1});
+  coords.append({2, 2, 2});
+  coords.append({1, 0, 5});
+  const Box box = Box::bounding(coords);
+  EXPECT_EQ(box.lo(0), 0u);
+  EXPECT_EQ(box.hi(0), 2u);
+  EXPECT_EQ(box.lo(1), 0u);
+  EXPECT_EQ(box.hi(1), 2u);
+  EXPECT_EQ(box.lo(2), 1u);
+  EXPECT_EQ(box.hi(2), 5u);
+}
+
+TEST(Box, BoundingOfEmptyBufferRejected) {
+  EXPECT_THROW(Box::bounding(CoordBuffer(2)), FormatError);
+}
+
+TEST(Box, InvertedBoundsRejected) {
+  EXPECT_THROW(Box({5}, {4}), FormatError);
+}
+
+TEST(Box, ContainsPoint) {
+  const Box box({1, 1}, {3, 3});
+  const std::vector<index_t> inside{2, 3};
+  const std::vector<index_t> outside{0, 2};
+  const std::vector<index_t> wrong_rank{2};
+  EXPECT_TRUE(box.contains(std::span<const index_t>(inside)));
+  EXPECT_FALSE(box.contains(std::span<const index_t>(outside)));
+  EXPECT_FALSE(box.contains(std::span<const index_t>(wrong_rank)));
+}
+
+TEST(Box, ContainsBox) {
+  const Box outer({0, 0}, {9, 9});
+  const Box inner({2, 3}, {4, 5});
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+}
+
+TEST(Box, Overlaps) {
+  const Box a({0, 0}, {4, 4});
+  const Box b({4, 4}, {8, 8});  // shares the single corner (4, 4)
+  const Box c({5, 5}, {8, 8});
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(Box, IntersectOverlapping) {
+  const Box a({0, 0}, {5, 5});
+  const Box b({3, 2}, {8, 4});
+  const Box i = a.intersect(b);
+  EXPECT_EQ(i, Box({3, 2}, {5, 4}));
+}
+
+TEST(Box, IntersectDisjointIsEmpty) {
+  const Box a({0, 0}, {1, 1});
+  const Box b({5, 5}, {6, 6});
+  EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(Box, ShapeAndCellCount) {
+  const Box box({2, 10}, {4, 10});
+  EXPECT_EQ(box.shape(), (Shape{3, 1}));
+  EXPECT_EQ(box.cell_count(), 3u);
+}
+
+TEST(Box, EnumerateCellsRowMajor) {
+  const Box box({1, 5}, {2, 6});
+  CoordBuffer out(2);
+  enumerate_cells(box, out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.at(0, 0), 1u);
+  EXPECT_EQ(out.at(0, 1), 5u);
+  EXPECT_EQ(out.at(1, 0), 1u);
+  EXPECT_EQ(out.at(1, 1), 6u);
+  EXPECT_EQ(out.at(2, 0), 2u);
+  EXPECT_EQ(out.at(2, 1), 5u);
+  EXPECT_EQ(out.at(3, 0), 2u);
+  EXPECT_EQ(out.at(3, 1), 6u);
+}
+
+TEST(Box, EnumerateSingleCell) {
+  const Box box({7, 7, 7}, {7, 7, 7});
+  CoordBuffer out(3);
+  enumerate_cells(box, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.at(0, 0), 7u);
+}
+
+TEST(Box, EnumerateCountsMatchCellCount) {
+  const Box box({0, 0, 0}, {2, 3, 1});
+  CoordBuffer out(3);
+  enumerate_cells(box, out);
+  EXPECT_EQ(out.size(), box.cell_count());
+}
+
+TEST(Box, ToString) {
+  EXPECT_EQ(Box({1, 2}, {3, 4}).to_string(), "[1..3, 2..4]");
+}
+
+}  // namespace
+}  // namespace artsparse

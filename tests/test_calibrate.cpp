@@ -1,0 +1,85 @@
+#include "patterns/calibrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "patterns/dataset.hpp"
+
+namespace artsparse {
+namespace {
+
+double measured_density(const Shape& shape, const PatternSpec& spec) {
+  return make_dataset(shape, spec, /*seed=*/99).density();
+}
+
+TEST(CalibrateTsp, ReachesTargetDensity) {
+  const Shape shape{256, 256};
+  const double target = 0.0167;  // Table II, 2-D TSP
+  const TspConfig config = calibrate_tsp(shape, target);
+  const double density = measured_density(shape, config);
+  EXPECT_GE(density, target);
+  // Smallest sufficient width: one step narrower must fall short.
+  if (config.half_width > 0) {
+    EXPECT_LT(measured_density(shape, TspConfig{config.half_width - 1}),
+              target);
+  }
+}
+
+TEST(CalibrateTsp, HigherTargetWidensBand) {
+  const Shape shape{128, 128};
+  EXPECT_GT(calibrate_tsp(shape, 0.10).half_width,
+            calibrate_tsp(shape, 0.01).half_width);
+}
+
+TEST(CalibrateTsp, ImpossibleTargetReturnsWidestBand) {
+  const Shape shape{8, 8};
+  const TspConfig config = calibrate_tsp(shape, 1.0);
+  EXPECT_EQ(config.half_width, 7u);
+}
+
+TEST(CalibrateTsp, InvalidTargetRejected) {
+  EXPECT_THROW(calibrate_tsp(Shape{8, 8}, 0.0), FormatError);
+  EXPECT_THROW(calibrate_tsp(Shape{8, 8}, 1.5), FormatError);
+}
+
+TEST(CalibrateGsp, ProbabilityEqualsTarget) {
+  EXPECT_DOUBLE_EQ(calibrate_gsp(0.0099).fill_probability, 0.0099);
+}
+
+TEST(CalibrateGsp, MeasuredDensityNearTarget) {
+  const Shape shape{512, 512};
+  const GspConfig config = calibrate_gsp(0.0099);
+  EXPECT_NEAR(measured_density(shape, config), 0.0099, 0.001);
+}
+
+TEST(CalibrateMsp, MeasuredDensityNearTarget) {
+  const Shape shape{512, 512};
+  const double target = 0.0019;  // Table II, 2-D MSP
+  const MspConfig config = calibrate_msp(shape, target);
+  EXPECT_NEAR(measured_density(shape, config), target, 0.0005);
+  EXPECT_DOUBLE_EQ(config.background_probability, 0.001);
+}
+
+TEST(CalibrateMsp, RegionFillSolvesClosedForm) {
+  const Shape shape{90, 90};
+  const Box region = msp_region(shape);
+  const double f = static_cast<double>(region.cell_count()) /
+                   static_cast<double>(shape.element_count());
+  const double target = 0.01;
+  const MspConfig config = calibrate_msp(shape, target, 0.001);
+  EXPECT_NEAR(0.001 * (1.0 - f) + config.region_fill_probability * f,
+              target, 1e-12);
+}
+
+TEST(CalibrateMsp, UnreachableTargetRejected) {
+  // Region is ~1/9 of a 2-D tensor; with a 0.1% background the reachable
+  // maximum is ~11.2%.
+  EXPECT_THROW(calibrate_msp(Shape{90, 90}, 0.5), FormatError);
+}
+
+TEST(CalibrateMsp, TargetBelowBackgroundRejected) {
+  EXPECT_THROW(calibrate_msp(Shape{90, 90}, 0.0001, 0.001), FormatError);
+}
+
+}  // namespace
+}  // namespace artsparse

@@ -1,0 +1,123 @@
+#include "cli_support.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "test_support.hpp"
+
+namespace artsparse::cli {
+namespace {
+
+Args parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "artsparse");
+  return parse_args(static_cast<int>(argv.size()),
+                    const_cast<char**>(argv.data()));
+}
+
+TEST(CliArgs, CommandAndOptions) {
+  const Args args =
+      parse({"generate", "--shape", "256,256", "--density=0.01", "--print"});
+  EXPECT_EQ(args.command, "generate");
+  EXPECT_EQ(args.get("shape"), "256,256");
+  EXPECT_EQ(args.get("density"), "0.01");
+  EXPECT_TRUE(args.has("print"));
+  EXPECT_FALSE(args.has("absent"));
+  EXPECT_EQ(args.get("absent", "fallback"), "fallback");
+}
+
+TEST(CliArgs, NoCommand) {
+  const Args args = parse({"--store", "dir"});
+  EXPECT_TRUE(args.command.empty());
+  EXPECT_EQ(args.get("store"), "dir");
+}
+
+TEST(CliParse, Shape) {
+  EXPECT_EQ(parse_shape("256,128,64"), (Shape{256, 128, 64}));
+  EXPECT_EQ(parse_shape("7"), (Shape{7}));
+  EXPECT_THROW(parse_shape("12,x"), FormatError);
+  EXPECT_THROW(parse_shape(""), FormatError);
+}
+
+TEST(CliParse, Region) {
+  EXPECT_EQ(parse_region("10:20,30:40"), Box({10, 30}, {20, 40}));
+  EXPECT_THROW(parse_region("10-20"), FormatError);
+  EXPECT_THROW(parse_region("20:10"), FormatError);  // inverted bounds
+}
+
+TEST(CliParse, Pattern) {
+  EXPECT_EQ(parse_pattern("TSP"), PatternKind::kTsp);
+  EXPECT_EQ(parse_pattern("gsp"), PatternKind::kGsp);
+  EXPECT_EQ(parse_pattern("cgp"), PatternKind::kGsp);  // Table II alias
+  EXPECT_EQ(parse_pattern("msp"), PatternKind::kMsp);
+  EXPECT_THROW(parse_pattern("nope"), FormatError);
+}
+
+TEST(CliParse, Org) {
+  EXPECT_EQ(parse_org("coo"), OrgKind::kCoo);
+  EXPECT_EQ(parse_org("GCSR++"), OrgKind::kGcsr);
+  EXPECT_EQ(parse_org("gcsc"), OrgKind::kGcsc);
+  EXPECT_EQ(parse_org("CSF"), OrgKind::kCsf);
+  EXPECT_EQ(parse_org("sorted-coo"), OrgKind::kSortedCoo);
+  EXPECT_THROW(parse_org("btree"), FormatError);
+}
+
+TEST(CliParse, Weights) {
+  EXPECT_GT(parse_weights("read").read, parse_weights("read").write);
+  EXPECT_GT(parse_weights("archive").space, 1.0);
+  EXPECT_THROW(parse_weights("wat"), FormatError);
+}
+
+TEST(CliTsv, RoundTrip) {
+  const auto dir = testing::fresh_temp_dir("cli_tsv");
+  const auto path = (dir / "points.tsv").string();
+
+  CoordBuffer coords(3);
+  coords.append({1, 2, 3});
+  coords.append({40, 50, 60});
+  const std::vector<value_t> values{1.5, -2.25};
+  write_tsv(path, coords, values);
+
+  const auto [read_coords, read_values] = read_tsv(path);
+  EXPECT_TRUE(read_coords == coords);
+  EXPECT_EQ(read_values, values);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliTsv, InconsistentRankRejected) {
+  const auto dir = testing::fresh_temp_dir("cli_tsv_bad");
+  const auto path = (dir / "bad.tsv").string();
+  {
+    std::ofstream out(path);
+    out << "1\t2\t3.0\n1\t2\t3\t4.0\n";
+  }
+  EXPECT_THROW(read_tsv(path), FormatError);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliTsv, MissingFileRejected) {
+  EXPECT_THROW(read_tsv("/nonexistent/points.tsv"), IoError);
+}
+
+TEST(CliStoreShape, ReadsShapeFromFragments) {
+  const auto dir = testing::fresh_temp_dir("cli_shape");
+  const Shape shape{32, 32};
+  {
+    FragmentStore store(dir, shape);
+    CoordBuffer coords(2);
+    coords.append({1, 1});
+    const std::vector<value_t> values{1.0};
+    store.write(coords, values, OrgKind::kCoo);
+  }
+  EXPECT_EQ(store_shape(dir.string()), shape);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliStoreShape, EmptyDirectoryRejected) {
+  const auto dir = testing::fresh_temp_dir("cli_empty");
+  EXPECT_THROW(store_shape(dir.string()), FormatError);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace artsparse::cli

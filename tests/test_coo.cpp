@@ -1,0 +1,107 @@
+#include "formats/coo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace artsparse {
+namespace {
+
+using testing::fig1_coords;
+using testing::fig1_shape;
+
+TEST(Coo, BuildReturnsIdentityMap) {
+  CooFormat coo;
+  const auto map = coo.build(fig1_coords(), fig1_shape());
+  EXPECT_EQ(map, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(coo.point_count(), 5u);
+}
+
+TEST(Coo, LookupFindsEveryStoredPoint) {
+  CooFormat coo;
+  const CoordBuffer coords = fig1_coords();
+  coo.build(coords, fig1_shape());
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    EXPECT_EQ(coo.lookup(coords.point(i)), i);
+  }
+}
+
+TEST(Coo, LookupMissesAbsentPoint) {
+  CooFormat coo;
+  coo.build(fig1_coords(), fig1_shape());
+  const std::vector<index_t> absent{1, 1, 1};
+  EXPECT_EQ(coo.lookup(absent), kNotFound);
+}
+
+TEST(Coo, LookupRejectsWrongRank) {
+  CooFormat coo;
+  coo.build(fig1_coords(), fig1_shape());
+  const std::vector<index_t> wrong{1, 1};
+  EXPECT_EQ(coo.lookup(wrong), kNotFound);
+}
+
+TEST(Coo, PreservesInputOrderIncludingUnsorted) {
+  CoordBuffer coords(2);
+  coords.append({5, 5});
+  coords.append({0, 0});  // deliberately out of order
+  CooFormat coo;
+  coo.build(coords, Shape{8, 8});
+  EXPECT_EQ(coo.coords().at(0, 0), 5u);
+  const std::vector<index_t> first{5, 5};
+  EXPECT_EQ(coo.lookup(first), 0u);
+}
+
+TEST(Coo, SaveLoadRoundTrip) {
+  CooFormat coo;
+  const CoordBuffer coords = fig1_coords();
+  coo.build(coords, fig1_shape());
+  CooFormat fresh;
+  testing::reload(coo, fresh);
+  EXPECT_EQ(fresh.point_count(), 5u);
+  EXPECT_EQ(fresh.tensor_shape(), fig1_shape());
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    EXPECT_EQ(fresh.lookup(coords.point(i)), i);
+  }
+}
+
+TEST(Coo, IndexBytesAreOrderDTimesN) {
+  // Space complexity O(n * d): the dominant payload is n*d coordinate
+  // words.
+  CooFormat coo;
+  coo.build(fig1_coords(), fig1_shape());
+  const std::size_t payload = 5 * 3 * sizeof(index_t);
+  EXPECT_GE(coo.index_bytes(), payload);
+  EXPECT_LE(coo.index_bytes(), payload + 64);  // header slack
+}
+
+TEST(Coo, EmptyBuild) {
+  CooFormat coo;
+  const auto map = coo.build(CoordBuffer(3), fig1_shape());
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(coo.point_count(), 0u);
+  const std::vector<index_t> point{0, 0, 1};
+  EXPECT_EQ(coo.lookup(point), kNotFound);
+}
+
+TEST(Coo, RankMismatchRejected) {
+  CooFormat coo;
+  EXPECT_THROW(coo.build(CoordBuffer(2), fig1_shape()), FormatError);
+}
+
+TEST(Coo, BulkReadMatchesLookup) {
+  CooFormat coo;
+  const CoordBuffer coords = fig1_coords();
+  coo.build(coords, fig1_shape());
+  CoordBuffer queries(3);
+  queries.append({0, 1, 2});
+  queries.append({1, 1, 1});
+  queries.append({2, 2, 2});
+  const auto slots = coo.read(queries);
+  ASSERT_EQ(slots.size(), 3u);
+  EXPECT_EQ(slots[0], 2u);
+  EXPECT_EQ(slots[1], kNotFound);
+  EXPECT_EQ(slots[2], 4u);
+}
+
+}  // namespace
+}  // namespace artsparse

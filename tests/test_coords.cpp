@@ -1,0 +1,88 @@
+#include "core/coords.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace artsparse {
+namespace {
+
+TEST(CoordBuffer, AppendAndAccess) {
+  CoordBuffer coords(3);
+  coords.append({1, 2, 3});
+  coords.append({4, 5, 6});
+  EXPECT_EQ(coords.size(), 2u);
+  EXPECT_EQ(coords.rank(), 3u);
+  EXPECT_EQ(coords.at(0, 2), 3u);
+  EXPECT_EQ(coords.at(1, 0), 4u);
+  const auto p = coords.point(1);
+  EXPECT_EQ(p[1], 5u);
+}
+
+TEST(CoordBuffer, FromFlatVector) {
+  const CoordBuffer coords(2, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(coords.size(), 3u);
+  EXPECT_EQ(coords.at(2, 1), 6u);
+}
+
+TEST(CoordBuffer, FlatLengthMustBeMultipleOfRank) {
+  EXPECT_THROW(CoordBuffer(2, {1, 2, 3}), FormatError);
+}
+
+TEST(CoordBuffer, ZeroRankFlatRejected) {
+  EXPECT_THROW(CoordBuffer(0, {1}), FormatError);
+}
+
+TEST(CoordBuffer, WrongRankAppendRejected) {
+  CoordBuffer coords(2);
+  EXPECT_THROW(coords.append({1, 2, 3}), FormatError);
+}
+
+TEST(CoordBuffer, OutOfRangeAccessRejected) {
+  CoordBuffer coords(2);
+  coords.append({1, 2});
+  EXPECT_THROW(coords.point(1), FormatError);
+  EXPECT_THROW(coords.at(0, 2), FormatError);
+}
+
+TEST(CoordBuffer, Permuted) {
+  CoordBuffer coords(2);
+  coords.append({0, 0});
+  coords.append({1, 1});
+  coords.append({2, 2});
+  const std::vector<std::size_t> perm{2, 0, 1};
+  const CoordBuffer shuffled = coords.permuted(perm);
+  EXPECT_EQ(shuffled.at(0, 0), 2u);
+  EXPECT_EQ(shuffled.at(1, 0), 0u);
+  EXPECT_EQ(shuffled.at(2, 0), 1u);
+}
+
+TEST(CoordBuffer, PermutedLengthMismatchRejected) {
+  CoordBuffer coords(2);
+  coords.append({0, 0});
+  const std::vector<std::size_t> perm{0, 0};
+  EXPECT_THROW(coords.permuted(perm), FormatError);
+}
+
+TEST(CoordBuffer, Equality) {
+  CoordBuffer a(2);
+  a.append({1, 2});
+  CoordBuffer b(2);
+  b.append({1, 2});
+  EXPECT_TRUE(a == b);
+  b.append({3, 4});
+  EXPECT_FALSE(a == b);
+}
+
+TEST(CoordBuffer, ClearAndEmpty) {
+  CoordBuffer coords(2);
+  EXPECT_TRUE(coords.empty());
+  coords.append({1, 2});
+  EXPECT_FALSE(coords.empty());
+  coords.clear();
+  EXPECT_TRUE(coords.empty());
+  EXPECT_EQ(coords.rank(), 2u);  // rank survives clear
+}
+
+}  // namespace
+}  // namespace artsparse

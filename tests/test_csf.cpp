@@ -1,0 +1,187 @@
+#include "formats/csf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sort.hpp"
+#include "test_support.hpp"
+
+namespace artsparse {
+namespace {
+
+using testing::fig1_coords;
+using testing::fig1_shape;
+
+// Fig. 1's points under Algorithm 2: local extents are (3, 3, 2), so the
+// ascending-extent dimension order is [2, 0, 1] (dimension 2 at the root).
+// Sorted permuted tuples: (1,0,0) (1,0,1) (1,2,2) (2,0,1) (2,2,2) giving
+//   level 0 (dim 2): {1, 2}
+//   level 1 (dim 0): {0, 2 | 0, 2},        fptr0 = {0, 2, 4}
+//   level 2 (dim 1): {0, 1 | 2 | 1 | 2},   fptr1 = {0, 2, 3, 4, 5}
+TEST(Csf, Fig1TreeStructure) {
+  CsfFormat csf;
+  csf.build(fig1_coords(), fig1_shape());
+  EXPECT_EQ(std::vector<std::size_t>(csf.dim_order().begin(),
+                                     csf.dim_order().end()),
+            (std::vector<std::size_t>{2, 0, 1}));
+  EXPECT_EQ(std::vector<index_t>(csf.nfibs().begin(), csf.nfibs().end()),
+            (std::vector<index_t>{2, 4, 5}));
+  ASSERT_EQ(csf.fids().size(), 3u);
+  EXPECT_EQ(csf.fids()[0], (std::vector<index_t>{1, 2}));
+  EXPECT_EQ(csf.fids()[1], (std::vector<index_t>{0, 2, 0, 2}));
+  EXPECT_EQ(csf.fids()[2], (std::vector<index_t>{0, 1, 2, 1, 2}));
+  ASSERT_EQ(csf.fptr().size(), 2u);
+  EXPECT_EQ(csf.fptr()[0], (std::vector<index_t>{0, 2, 4}));
+  EXPECT_EQ(csf.fptr()[1], (std::vector<index_t>{0, 2, 3, 4, 5}));
+}
+
+TEST(Csf, Fig1MapAndLookups) {
+  CsfFormat csf;
+  const CoordBuffer coords = fig1_coords();
+  const auto map = csf.build(coords, fig1_shape());
+  EXPECT_EQ(map, (std::vector<std::size_t>{0, 1, 3, 2, 4}));
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    EXPECT_EQ(csf.lookup(coords.point(i)), map[i]);
+  }
+}
+
+TEST(Csf, MissesAbsentPoints) {
+  CsfFormat csf;
+  csf.build(fig1_coords(), fig1_shape());
+  const std::vector<index_t> miss_at_root{0, 0, 0};    // dim2 value 0 absent
+  const std::vector<index_t> miss_at_mid{1, 0, 1};     // dim0 value 1 absent
+  const std::vector<index_t> miss_at_leaf{0, 2, 1};    // leaf 2 absent there
+  EXPECT_EQ(csf.lookup(miss_at_root), kNotFound);
+  EXPECT_EQ(csf.lookup(miss_at_mid), kNotFound);
+  EXPECT_EQ(csf.lookup(miss_at_leaf), kNotFound);
+}
+
+TEST(Csf, DimensionOrderSortsAscendingExtent) {
+  CoordBuffer coords(3);
+  coords.append({9, 0, 3});  // dim extents: 10, 1, 4 -> order 1, 2, 0
+  coords.append({0, 0, 0});
+  CsfFormat csf;
+  csf.build(coords, Shape{16, 16, 16});
+  EXPECT_EQ(std::vector<std::size_t>(csf.dim_order().begin(),
+                                     csf.dim_order().end()),
+            (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(Csf, WorstCaseSpaceIsNTimesD) {
+  // Maximum divergence: no shared coordinates anywhere -> every level has
+  // n nodes.
+  CoordBuffer coords(3);
+  for (index_t i = 0; i < 8; ++i) {
+    coords.append({i, i, i});
+  }
+  CsfFormat csf;
+  csf.build(coords, Shape{8, 8, 8});
+  EXPECT_EQ(std::vector<index_t>(csf.nfibs().begin(), csf.nfibs().end()),
+            (std::vector<index_t>{8, 8, 8}));
+}
+
+TEST(Csf, BestCaseSpaceIsNPlusD) {
+  // Minimal branching: one shared prefix, all points in one leaf fiber.
+  CoordBuffer coords(3);
+  for (index_t i = 0; i < 8; ++i) {
+    coords.append({0, 0, i});
+  }
+  CsfFormat csf;
+  csf.build(coords, Shape{8, 8, 8});
+  // Non-leaf levels have a single node; the leaf holds all n points.
+  EXPECT_EQ(std::vector<index_t>(csf.nfibs().begin(), csf.nfibs().end()),
+            (std::vector<index_t>{1, 1, 8}));
+}
+
+TEST(Csf, FptrRangesPartitionEachLevel) {
+  CsfFormat csf;
+  csf.build(fig1_coords(), fig1_shape());
+  for (std::size_t level = 0; level + 1 < csf.fids().size(); ++level) {
+    const auto& ptr = csf.fptr()[level];
+    ASSERT_EQ(ptr.size(), csf.fids()[level].size() + 1);
+    EXPECT_EQ(ptr.front(), 0u);
+    EXPECT_EQ(ptr.back(), csf.fids()[level + 1].size());
+    for (std::size_t k = 1; k < ptr.size(); ++k) {
+      EXPECT_LT(ptr[k - 1], ptr[k]);  // every node has >= 1 child
+    }
+  }
+}
+
+TEST(Csf, FiberCoordinatesSortedWithinRanges) {
+  CsfFormat csf;
+  csf.build(fig1_coords(), fig1_shape());
+  for (std::size_t level = 0; level + 1 < csf.fids().size(); ++level) {
+    const auto& ptr = csf.fptr()[level];
+    const auto& next = csf.fids()[level + 1];
+    for (std::size_t k = 0; k + 1 < ptr.size(); ++k) {
+      for (std::size_t i = ptr[k] + 1; i < ptr[k + 1]; ++i) {
+        EXPECT_LT(next[i - 1], next[i]);
+      }
+    }
+  }
+}
+
+TEST(Csf, SaveLoadRoundTrip) {
+  CsfFormat csf;
+  const CoordBuffer coords = fig1_coords();
+  const auto map = csf.build(coords, fig1_shape());
+  CsfFormat fresh;
+  testing::reload(csf, fresh);
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    EXPECT_EQ(fresh.lookup(coords.point(i)), map[i]);
+  }
+  EXPECT_EQ(fresh.nfibs().size(), 3u);
+}
+
+TEST(Csf, EmptyBuild) {
+  CsfFormat csf;
+  EXPECT_TRUE(csf.build(CoordBuffer(3), fig1_shape()).empty());
+  const std::vector<index_t> point{0, 0, 1};
+  EXPECT_EQ(csf.lookup(point), kNotFound);
+  EXPECT_EQ(csf.point_count(), 0u);
+}
+
+TEST(Csf, SingleDimensionTensor) {
+  CoordBuffer coords(1);
+  coords.append({4});
+  coords.append({1});
+  coords.append({7});
+  CsfFormat csf;
+  const auto map = csf.build(coords, Shape{10});
+  EXPECT_TRUE(is_permutation_of_iota(map));
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    EXPECT_EQ(csf.lookup(coords.point(i)), map[i]);
+  }
+  EXPECT_TRUE(csf.fptr().empty());
+}
+
+TEST(Csf, DuplicatePointsEachGetALeaf) {
+  CoordBuffer coords(2);
+  coords.append({1, 1});
+  coords.append({1, 1});
+  CsfFormat csf;
+  const auto map = csf.build(coords, Shape{4, 4});
+  EXPECT_TRUE(is_permutation_of_iota(map));
+  EXPECT_EQ(csf.point_count(), 2u);
+}
+
+TEST(Csf, CorruptFptrRejectedOnLoad) {
+  CsfFormat csf;
+  csf.build(fig1_coords(), fig1_shape());
+  BufferWriter writer;
+  csf.save(writer);
+  Bytes bytes = writer.take();
+  bytes.resize(bytes.size() - 8);
+  CsfFormat fresh;
+  BufferReader reader(bytes);
+  EXPECT_THROW(fresh.load(reader), FormatError);
+}
+
+TEST(Csf, IndexWordsTracksTreeSize) {
+  CsfFormat csf;
+  csf.build(fig1_coords(), fig1_shape());
+  // nfibs(3) + dim_order(3) + fids(2+4+5) + fptr(3+5) = 25 words.
+  EXPECT_EQ(csf.index_words(), 25u);
+}
+
+}  // namespace
+}  // namespace artsparse

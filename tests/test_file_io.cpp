@@ -1,0 +1,91 @@
+#include "storage/file_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/error.hpp"
+#include "test_support.hpp"
+
+namespace artsparse {
+namespace {
+
+class FileIo : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = testing::fresh_temp_dir("fileio"); }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+};
+
+Bytes make_payload(std::size_t n) {
+  Bytes payload(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    payload[i] = static_cast<std::byte>(i * 31 % 251);
+  }
+  return payload;
+}
+
+TEST_F(FileIo, WriteReadRoundTrip) {
+  const auto path = (dir_ / "data.bin").string();
+  const Bytes payload = make_payload(4096);
+  write_file(path, payload);
+  EXPECT_EQ(read_file(path), payload);
+}
+
+TEST_F(FileIo, ReadAtOffset) {
+  const auto path = (dir_ / "data.bin").string();
+  const Bytes payload = make_payload(1000);
+  write_file(path, payload);
+
+  PosixFile file(path, PosixFile::Mode::kRead);
+  const Bytes middle = file.read_at(100, 50);
+  EXPECT_EQ(middle, Bytes(payload.begin() + 100, payload.begin() + 150));
+}
+
+TEST_F(FileIo, SizeReportsBytesWritten) {
+  const auto path = (dir_ / "data.bin").string();
+  PosixFile file(path, PosixFile::Mode::kWriteTruncate);
+  file.write_all(make_payload(123));
+  file.sync();
+  EXPECT_EQ(file.size(), 123u);
+}
+
+TEST_F(FileIo, TruncateModeReplacesContent) {
+  const auto path = (dir_ / "data.bin").string();
+  write_file(path, make_payload(100));
+  write_file(path, make_payload(10));
+  EXPECT_EQ(read_file(path).size(), 10u);
+}
+
+TEST_F(FileIo, MissingFileThrowsIoError) {
+  EXPECT_THROW(read_file((dir_ / "absent.bin").string()), IoError);
+}
+
+TEST_F(FileIo, ReadPastEndThrows) {
+  const auto path = (dir_ / "data.bin").string();
+  write_file(path, make_payload(8));
+  PosixFile file(path, PosixFile::Mode::kRead);
+  EXPECT_THROW(file.read_at(0, 9), IoError);
+}
+
+TEST_F(FileIo, ErrorMessageCarriesPath) {
+  try {
+    read_file((dir_ / "absent.bin").string());
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("absent.bin"), std::string::npos);
+  }
+}
+
+TEST_F(FileIo, EmptyFileRoundTrip) {
+  const auto path = (dir_ / "empty.bin").string();
+  write_file(path, Bytes{});
+  EXPECT_TRUE(read_file(path).empty());
+}
+
+}  // namespace
+}  // namespace artsparse

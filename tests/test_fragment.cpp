@@ -1,0 +1,127 @@
+#include "storage/fragment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "formats/registry.hpp"
+#include "test_support.hpp"
+
+namespace artsparse {
+namespace {
+
+Fragment sample_fragment(CodecKind codec = CodecKind::kIdentity) {
+  auto format = make_format(OrgKind::kGcsr);
+  const CoordBuffer coords = testing::fig1_coords();
+  format->build(coords, testing::fig1_shape());
+
+  Fragment fragment;
+  fragment.org = OrgKind::kGcsr;
+  fragment.codec = codec;
+  fragment.shape = testing::fig1_shape();
+  fragment.bbox = Box::bounding(coords);
+  fragment.point_count = coords.size();
+  fragment.index = serialize_format(*format);
+  fragment.values = testing::fig1_values();
+  return fragment;
+}
+
+TEST(Fragment, EncodeDecodeRoundTrip) {
+  const Fragment original = sample_fragment();
+  const Bytes encoded = encode_fragment(original);
+  const Fragment decoded = decode_fragment(encoded);
+
+  EXPECT_EQ(decoded.org, original.org);
+  EXPECT_EQ(decoded.codec, original.codec);
+  EXPECT_EQ(decoded.shape, original.shape);
+  EXPECT_EQ(decoded.bbox, original.bbox);
+  EXPECT_EQ(decoded.point_count, original.point_count);
+  EXPECT_EQ(decoded.index, original.index);
+  EXPECT_EQ(decoded.values, original.values);
+}
+
+TEST(Fragment, DecodedIndexReconstructsFormat) {
+  const Bytes encoded = encode_fragment(sample_fragment());
+  const Fragment decoded = decode_fragment(encoded);
+  auto format = load_format(decoded.org, decoded.index);
+  const CoordBuffer coords = testing::fig1_coords();
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    EXPECT_NE(format->lookup(coords.point(i)), kNotFound);
+  }
+}
+
+TEST(Fragment, RoundTripWithEveryCodec) {
+  for (CodecKind codec :
+       {CodecKind::kIdentity, CodecKind::kDelta, CodecKind::kVarint,
+        CodecKind::kRle, CodecKind::kDeltaVarint}) {
+    const Fragment original = sample_fragment(codec);
+    const Fragment decoded = decode_fragment(encode_fragment(original));
+    EXPECT_EQ(decoded.index, original.index) << to_string(codec);
+    EXPECT_EQ(decoded.values, original.values) << to_string(codec);
+  }
+}
+
+TEST(Fragment, HeaderOnlyDecode) {
+  const Bytes encoded = encode_fragment(sample_fragment());
+  const FragmentInfo info = decode_fragment_info(encoded);
+  EXPECT_EQ(info.org, OrgKind::kGcsr);
+  EXPECT_EQ(info.shape, testing::fig1_shape());
+  EXPECT_EQ(info.point_count, 5u);
+  EXPECT_EQ(info.value_count, 5u);
+  EXPECT_EQ(info.bbox, Box({0, 0, 1}, {2, 2, 2}));
+}
+
+TEST(Fragment, CorruptionDetectedByChecksum) {
+  Bytes encoded = encode_fragment(sample_fragment());
+  encoded[encoded.size() / 2] ^= std::byte{0x40};
+  EXPECT_THROW(decode_fragment(encoded), FormatError);
+}
+
+TEST(Fragment, TruncationRejected) {
+  Bytes encoded = encode_fragment(sample_fragment());
+  encoded.resize(encoded.size() - 16);
+  EXPECT_THROW(decode_fragment(encoded), FormatError);
+}
+
+TEST(Fragment, BadMagicRejected) {
+  Bytes encoded = encode_fragment(sample_fragment());
+  encoded[0] = std::byte{0x00};
+  EXPECT_THROW(decode_fragment(encoded), FormatError);
+  EXPECT_THROW(decode_fragment_info(encoded), FormatError);
+}
+
+TEST(Fragment, EmptyPayloadRejected) {
+  EXPECT_THROW(decode_fragment(Bytes{}), FormatError);
+}
+
+TEST(Fragment, EmptyBoundingBoxSurvivesRoundTrip) {
+  Fragment fragment = sample_fragment();
+  fragment.bbox = Box();  // empty fragment written before any points
+  fragment.point_count = 0;
+  fragment.values.clear();
+  const Fragment decoded = decode_fragment(encode_fragment(fragment));
+  EXPECT_TRUE(decoded.bbox.empty());
+}
+
+TEST(Fragment, CompressedFragmentIsSmallerOnSortedIndex) {
+  // LINEAR indexes are sorted-ish addresses: delta+varint should shrink
+  // them substantially.
+  auto format = make_format(OrgKind::kLinear);
+  CoordBuffer coords(2);
+  for (index_t i = 0; i < 512; ++i) coords.append({i, i});
+  format->build(coords, Shape{512, 512});
+
+  Fragment plain;
+  plain.org = OrgKind::kLinear;
+  plain.codec = CodecKind::kIdentity;
+  plain.shape = Shape{512, 512};
+  plain.bbox = Box::bounding(coords);
+  plain.point_count = coords.size();
+  plain.index = serialize_format(*format);
+  plain.values.assign(coords.size(), 1.0);
+
+  Fragment packed = plain;
+  packed.codec = CodecKind::kDeltaVarint;
+  EXPECT_LT(encode_fragment(packed).size(), encode_fragment(plain).size());
+}
+
+}  // namespace
+}  // namespace artsparse

@@ -1,0 +1,235 @@
+#include "storage/fragment_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/linearize.hpp"
+#include "patterns/dataset.hpp"
+#include "test_support.hpp"
+
+namespace artsparse {
+namespace {
+
+class FragmentStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = testing::fresh_temp_dir("store"); }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+};
+
+CoordBuffer grid_points(index_t lo, index_t hi) {
+  CoordBuffer coords(2);
+  for (index_t r = lo; r <= hi; ++r) {
+    for (index_t c = lo; c <= hi; ++c) {
+      coords.append({r, c});
+    }
+  }
+  return coords;
+}
+
+std::vector<value_t> address_values(const CoordBuffer& coords,
+                                    const Shape& shape) {
+  std::vector<value_t> values;
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    values.push_back(expected_value(coords.point(i), shape));
+  }
+  return values;
+}
+
+TEST_F(FragmentStoreTest, WriteCreatesOneFragmentFile) {
+  const Shape shape{64, 64};
+  FragmentStore store(dir_, shape);
+  const CoordBuffer coords = grid_points(0, 3);
+  const WriteResult result =
+      store.write(coords, address_values(coords, shape), OrgKind::kLinear);
+  EXPECT_EQ(store.fragment_count(), 1u);
+  EXPECT_TRUE(std::filesystem::exists(result.path));
+  EXPECT_EQ(result.point_count, 16u);
+  EXPECT_GT(result.file_bytes, 0u);
+  EXPECT_EQ(std::filesystem::file_size(result.path), result.file_bytes);
+}
+
+TEST_F(FragmentStoreTest, ReadReturnsPointsSortedByLinearAddress) {
+  const Shape shape{64, 64};
+  FragmentStore store(dir_, shape);
+  CoordBuffer coords(2);
+  coords.append({5, 5});
+  coords.append({1, 2});
+  coords.append({3, 0});
+  store.write(coords, address_values(coords, shape), OrgKind::kCoo);
+
+  CoordBuffer queries(2);
+  queries.append({5, 5});
+  queries.append({3, 0});
+  queries.append({1, 2});
+  queries.append({7, 7});  // absent
+  const ReadResult result = store.read(queries);
+  ASSERT_EQ(result.values.size(), 3u);
+  for (std::size_t i = 1; i < result.values.size(); ++i) {
+    EXPECT_LT(linearize(result.coords.point(i - 1), shape),
+              linearize(result.coords.point(i), shape));
+  }
+  for (std::size_t i = 0; i < result.values.size(); ++i) {
+    EXPECT_EQ(result.values[i],
+              expected_value(result.coords.point(i), shape));
+  }
+}
+
+TEST_F(FragmentStoreTest, ReadRegionFindsExactlyRegionPoints) {
+  const Shape shape{64, 64};
+  FragmentStore store(dir_, shape);
+  const CoordBuffer coords = grid_points(0, 15);
+  store.write(coords, address_values(coords, shape), OrgKind::kGcsr);
+
+  const Box region({4, 4}, {7, 9});
+  const ReadResult result = store.read_region(region);
+  EXPECT_EQ(result.values.size(), region.cell_count());
+}
+
+TEST_F(FragmentStoreTest, MultipleFragmentsAreMerged) {
+  const Shape shape{64, 64};
+  FragmentStore store(dir_, shape);
+  const CoordBuffer a = grid_points(0, 3);
+  const CoordBuffer b = grid_points(8, 11);
+  store.write(a, address_values(a, shape), OrgKind::kLinear);
+  store.write(b, address_values(b, shape), OrgKind::kCsf);
+  EXPECT_EQ(store.fragment_count(), 2u);
+
+  const Box region({0, 0}, {15, 15});
+  const ReadResult result = store.read_region(region);
+  EXPECT_EQ(result.values.size(), a.size() + b.size());
+  EXPECT_EQ(result.fragments_visited, 2u);
+}
+
+TEST_F(FragmentStoreTest, DiscoverySkipsNonOverlappingFragments) {
+  const Shape shape{64, 64};
+  FragmentStore store(dir_, shape);
+  const CoordBuffer a = grid_points(0, 3);
+  const CoordBuffer b = grid_points(40, 43);
+  store.write(a, address_values(a, shape), OrgKind::kLinear);
+  store.write(b, address_values(b, shape), OrgKind::kLinear);
+
+  CoordBuffer queries(2);
+  queries.append({41, 41});
+  const ReadResult result = store.read(queries);
+  EXPECT_EQ(result.fragments_visited, 1u);
+  ASSERT_EQ(result.values.size(), 1u);
+}
+
+TEST_F(FragmentStoreTest, EveryOrganizationRoundTrips) {
+  const Shape shape{32, 32, 32};
+  const SparseDataset dataset =
+      make_dataset(shape, GspConfig{0.02}, /*seed=*/7);
+  const Box region({8, 8, 8}, {23, 23, 23});
+
+  for (OrgKind org : kPaperOrgs) {
+    const auto subdir = dir_ / to_string(org);
+    FragmentStore store(subdir, shape);
+    store.write(dataset.coords, dataset.values, org);
+    const ReadResult result = store.read_region(region);
+
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < dataset.coords.size(); ++i) {
+      if (region.contains(dataset.coords.point(i))) ++expected;
+    }
+    EXPECT_EQ(result.values.size(), expected) << to_string(org);
+    for (std::size_t i = 0; i < result.values.size(); ++i) {
+      EXPECT_EQ(result.values[i],
+                expected_value(result.coords.point(i), shape))
+          << to_string(org);
+    }
+  }
+}
+
+TEST_F(FragmentStoreTest, RescanRecoversFragmentsFromDisk) {
+  const Shape shape{64, 64};
+  const CoordBuffer coords = grid_points(2, 5);
+  {
+    FragmentStore store(dir_, shape);
+    store.write(coords, address_values(coords, shape), OrgKind::kGcsc);
+  }
+  // A brand-new store instance over the same directory sees the fragment.
+  FragmentStore reopened(dir_, shape);
+  EXPECT_EQ(reopened.fragment_count(), 1u);
+  CoordBuffer queries(2);
+  queries.append({3, 3});
+  const ReadResult result = reopened.read(queries);
+  ASSERT_EQ(result.values.size(), 1u);
+  EXPECT_EQ(result.values[0], expected_value(queries.point(0), shape));
+}
+
+TEST_F(FragmentStoreTest, RescanRejectsForeignShape) {
+  {
+    FragmentStore store(dir_, Shape{64, 64});
+    const CoordBuffer coords = grid_points(0, 2);
+    store.write(coords, address_values(coords, Shape{64, 64}),
+                OrgKind::kCoo);
+  }
+  EXPECT_THROW(FragmentStore(dir_, Shape{32, 32}), FormatError);
+}
+
+TEST_F(FragmentStoreTest, ClearRemovesFilesAndState) {
+  const Shape shape{64, 64};
+  FragmentStore store(dir_, shape);
+  const CoordBuffer coords = grid_points(0, 3);
+  const WriteResult written =
+      store.write(coords, address_values(coords, shape), OrgKind::kCoo);
+  store.clear();
+  EXPECT_EQ(store.fragment_count(), 0u);
+  EXPECT_FALSE(std::filesystem::exists(written.path));
+  EXPECT_EQ(store.total_file_bytes(), 0u);
+}
+
+TEST_F(FragmentStoreTest, WriteTimesAreBrokenDown) {
+  const Shape shape{64, 64};
+  FragmentStore store(dir_, shape);
+  const CoordBuffer coords = grid_points(0, 15);
+  const WriteResult result =
+      store.write(coords, address_values(coords, shape), OrgKind::kGcsc);
+  EXPECT_GE(result.times.build, 0.0);
+  EXPECT_GT(result.times.total(), 0.0);
+}
+
+TEST_F(FragmentStoreTest, MismatchedValueCountRejected) {
+  FragmentStore store(dir_, Shape{8, 8});
+  CoordBuffer coords(2);
+  coords.append({1, 1});
+  const std::vector<value_t> values{1.0, 2.0};
+  EXPECT_THROW(store.write(coords, values, OrgKind::kCoo), FormatError);
+}
+
+TEST_F(FragmentStoreTest, EmptyQueryReturnsEmpty) {
+  FragmentStore store(dir_, Shape{8, 8});
+  const ReadResult result = store.read(CoordBuffer(2));
+  EXPECT_TRUE(result.values.empty());
+  EXPECT_EQ(result.fragments_visited, 0u);
+}
+
+TEST_F(FragmentStoreTest, CompressedStoreRoundTrips) {
+  const Shape shape{64, 64};
+  FragmentStore store(dir_, shape, DeviceModel::unthrottled(),
+                      CodecKind::kDeltaVarint);
+  const CoordBuffer coords = grid_points(0, 9);
+  store.write(coords, address_values(coords, shape), OrgKind::kLinear);
+  const ReadResult result = store.read_region(Box({0, 0}, {9, 9}));
+  EXPECT_EQ(result.values.size(), coords.size());
+}
+
+TEST_F(FragmentStoreTest, CompressionShrinksFragments) {
+  const Shape shape{256, 256};
+  const CoordBuffer coords = grid_points(0, 63);
+  const auto values = address_values(coords, shape);
+
+  FragmentStore plain(dir_ / "plain", shape);
+  FragmentStore packed(dir_ / "packed", shape, DeviceModel::unthrottled(),
+                       CodecKind::kDeltaVarint);
+  const auto plain_result = plain.write(coords, values, OrgKind::kLinear);
+  const auto packed_result = packed.write(coords, values, OrgKind::kLinear);
+  EXPECT_LT(packed_result.file_bytes, plain_result.file_bytes);
+}
+
+}  // namespace
+}  // namespace artsparse

@@ -1,0 +1,118 @@
+// Differential fuzzing: a FragmentStore driven by random operation
+// sequences is cross-checked against a trivial std::map reference model —
+// random batch writes (random organization and codec per fragment,
+// overlapping cells allowed), region reads, native scans, point reads, and
+// occasional consolidation.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/linearize.hpp"
+#include "core/rng.hpp"
+#include "formats/registry.hpp"
+#include "storage/fragment_store.hpp"
+#include "test_support.hpp"
+
+namespace artsparse {
+namespace {
+
+class StoreFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StoreFuzz, MatchesReferenceModel) {
+  const auto dir =
+      testing::fresh_temp_dir("fuzz_" + std::to_string(GetParam()));
+  const Shape shape{40, 40};
+  Xoshiro256 rng(GetParam());
+
+  const CodecKind codecs[] = {CodecKind::kIdentity, CodecKind::kVarint,
+                              CodecKind::kDeltaVarint, CodecKind::kRle};
+  FragmentStore store(dir, shape, DeviceModel::unthrottled(),
+                      codecs[GetParam() % std::size(codecs)]);
+
+  // Reference: address -> values in write order (duplicates all surface
+  // until a consolidation collapses them to the latest).
+  std::map<index_t, std::vector<value_t>> model;
+
+  const auto orgs = all_org_kinds();
+  for (int step = 0; step < 40; ++step) {
+    const std::uint64_t action = rng.next_below(10);
+
+    if (action < 5) {
+      // Batch write: 1..30 random points, duplicates within a batch
+      // removed (formats require distinct slots only per duplicate leaf,
+      // but the reference is simpler without intra-batch duplicates).
+      const std::size_t count = 1 + rng.next_below(30);
+      std::map<index_t, value_t> batch;
+      for (std::size_t i = 0; i < count; ++i) {
+        const index_t address = rng.next_below(shape.element_count());
+        batch[address] = static_cast<value_t>(rng.next_below(1000));
+      }
+      CoordBuffer coords(2);
+      std::vector<value_t> values;
+      std::vector<index_t> point(2);
+      for (const auto& [address, value] : batch) {
+        delinearize(address, shape, point);
+        coords.append(point);
+        values.push_back(value);
+        model[address].push_back(value);
+      }
+      store.write(coords, values, orgs[rng.next_below(orgs.size())]);
+      continue;
+    }
+
+    if (action < 7) {
+      // Random region, both read paths.
+      const index_t lo0 = rng.next_below(35);
+      const index_t lo1 = rng.next_below(35);
+      const Box region({lo0, lo1}, {lo0 + rng.next_below(5),
+                                    lo1 + rng.next_below(5)});
+      const ReadResult scanned = store.scan_region(region);
+      const ReadResult queried = store.read_region(region);
+      ASSERT_EQ(scanned.values, queried.values) << "step " << step;
+
+      std::vector<value_t> expected;
+      std::vector<index_t> point(2);
+      for (const auto& [address, values] : model) {
+        delinearize(address, shape, point);
+        if (region.contains(point)) {
+          expected.insert(expected.end(), values.begin(), values.end());
+        }
+      }
+      ASSERT_EQ(scanned.values, expected) << "step " << step;
+      continue;
+    }
+
+    if (action < 9) {
+      // Point probes.
+      for (int probe = 0; probe < 5; ++probe) {
+        const index_t address = rng.next_below(shape.element_count());
+        CoordBuffer query(2);
+        std::vector<index_t> point(2);
+        delinearize(address, shape, point);
+        query.append(point);
+        const ReadResult result = store.read(query);
+        const auto it = model.find(address);
+        const std::size_t expected =
+            it == model.end() ? 0 : it->second.size();
+        ASSERT_EQ(result.values.size(), expected)
+            << "step " << step << " address " << address;
+      }
+      continue;
+    }
+
+    // Consolidate: the model collapses to latest-per-address.
+    store.consolidate(orgs[rng.next_below(orgs.size())]);
+    for (auto& [address, values] : model) {
+      values = {values.back()};
+    }
+    ASSERT_EQ(store.fragment_count(), 1u);
+  }
+
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace artsparse

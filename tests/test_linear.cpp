@@ -1,0 +1,122 @@
+#include "formats/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace artsparse {
+namespace {
+
+using testing::fig1_coords;
+using testing::fig1_shape;
+
+TEST(Linear, StoresPaperFig1Addresses) {
+  LinearFormat linear;
+  linear.build(fig1_coords(), fig1_shape());
+  const std::vector<index_t> expected{1, 4, 5, 25, 26};
+  EXPECT_EQ(std::vector<index_t>(linear.addresses().begin(),
+                                 linear.addresses().end()),
+            expected);
+}
+
+TEST(Linear, BuildReturnsIdentityMap) {
+  LinearFormat linear;
+  const auto map = linear.build(fig1_coords(), fig1_shape());
+  EXPECT_EQ(map, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Linear, LookupFindsEveryStoredPoint) {
+  LinearFormat linear;
+  const CoordBuffer coords = fig1_coords();
+  linear.build(coords, fig1_shape());
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    EXPECT_EQ(linear.lookup(coords.point(i)), i);
+  }
+}
+
+TEST(Linear, LookupMissesAbsentAndOutOfShape) {
+  LinearFormat linear;
+  linear.build(fig1_coords(), fig1_shape());
+  const std::vector<index_t> absent{1, 1, 1};
+  const std::vector<index_t> outside{5, 5, 5};
+  EXPECT_EQ(linear.lookup(absent), kNotFound);
+  EXPECT_EQ(linear.lookup(outside), kNotFound);
+}
+
+TEST(Linear, IndexIsOneWordPerPoint) {
+  LinearFormat linear;
+  linear.build(fig1_coords(), fig1_shape());
+  const std::size_t payload = 5 * sizeof(index_t);
+  EXPECT_GE(linear.index_bytes(), payload);
+  // Strictly smaller than COO's 3 words/point for the same data.
+  EXPECT_LT(linear.index_bytes(), 5 * 3 * sizeof(index_t) + 32);
+}
+
+TEST(Linear, SaveLoadRoundTrip) {
+  LinearFormat linear;
+  const CoordBuffer coords = fig1_coords();
+  linear.build(coords, fig1_shape());
+  LinearFormat fresh;
+  testing::reload(linear, fresh);
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    EXPECT_EQ(fresh.lookup(coords.point(i)), i);
+  }
+  EXPECT_EQ(fresh.addressing(), LinearAddressing::kGlobal);
+}
+
+TEST(Linear, LocalAddressingRoundTrip) {
+  // A block far from the origin: global addressing would need the full
+  // tensor's address space, local addressing only the bounding box.
+  CoordBuffer coords(2);
+  coords.append({1000, 2000});
+  coords.append({1001, 2001});
+  coords.append({1002, 2000});
+  const Shape shape{4096, 4096};
+
+  LinearFormat linear(LinearAddressing::kLocal);
+  linear.build(coords, shape);
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    EXPECT_EQ(linear.lookup(coords.point(i)), i);
+  }
+  // Points outside the local box are misses, not errors.
+  const std::vector<index_t> outside{0, 0};
+  EXPECT_EQ(linear.lookup(outside), kNotFound);
+
+  LinearFormat fresh;
+  testing::reload(linear, fresh);
+  EXPECT_EQ(fresh.addressing(), LinearAddressing::kLocal);
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    EXPECT_EQ(fresh.lookup(coords.point(i)), i);
+  }
+}
+
+TEST(Linear, LocalAddressesAreBlockRelative) {
+  CoordBuffer coords(2);
+  coords.append({100, 100});
+  coords.append({100, 101});
+  LinearFormat linear(LinearAddressing::kLocal);
+  linear.build(coords, Shape{1024, 1024});
+  EXPECT_EQ(linear.addresses()[0], 0u);
+  EXPECT_EQ(linear.addresses()[1], 1u);
+}
+
+TEST(Linear, EmptyBuild) {
+  LinearFormat linear;
+  const auto map = linear.build(CoordBuffer(3), fig1_shape());
+  EXPECT_TRUE(map.empty());
+  const std::vector<index_t> point{0, 0, 1};
+  EXPECT_EQ(linear.lookup(point), kNotFound);
+}
+
+TEST(Linear, DuplicateAddressReturnsFirst) {
+  CoordBuffer coords(2);
+  coords.append({1, 1});
+  coords.append({1, 1});
+  LinearFormat linear;
+  linear.build(coords, Shape{4, 4});
+  const std::vector<index_t> point{1, 1};
+  EXPECT_EQ(linear.lookup(point), 0u);
+}
+
+}  // namespace
+}  // namespace artsparse

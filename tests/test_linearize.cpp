@@ -1,0 +1,100 @@
+#include "core/linearize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace artsparse {
+namespace {
+
+std::vector<index_t> v(std::initializer_list<index_t> init) { return init; }
+
+TEST(Linearize, PaperFig1Addresses) {
+  // Fig. 1(a): the five example points of the 3x3x3 tensor and their
+  // LINEAR addresses.
+  const Shape shape{3, 3, 3};
+  EXPECT_EQ(linearize(v({0, 0, 1}), shape), 1u);
+  EXPECT_EQ(linearize(v({0, 1, 1}), shape), 4u);
+  EXPECT_EQ(linearize(v({0, 1, 2}), shape), 5u);
+  EXPECT_EQ(linearize(v({2, 2, 1}), shape), 25u);
+  EXPECT_EQ(linearize(v({2, 2, 2}), shape), 26u);
+}
+
+TEST(Linearize, RowMajorLastDimFastest) {
+  const Shape shape{4, 6};
+  EXPECT_EQ(linearize(v({0, 1}), shape), 1u);
+  EXPECT_EQ(linearize(v({1, 0}), shape), 6u);
+}
+
+TEST(Linearize, ColMajorFirstDimFastest) {
+  const Shape shape{4, 6};
+  EXPECT_EQ(linearize_col_major(v({1, 0}), shape), 1u);
+  EXPECT_EQ(linearize_col_major(v({0, 1}), shape), 4u);
+}
+
+TEST(Linearize, DelinearizeRoundTrip) {
+  const Shape shape{5, 7, 3};
+  std::vector<index_t> point(3);
+  for (index_t address = 0; address < shape.element_count(); ++address) {
+    delinearize(address, shape, point);
+    EXPECT_EQ(linearize(point, shape), address);
+  }
+}
+
+TEST(Linearize, OutOfShapeRejected) {
+  const Shape shape{3, 3};
+  EXPECT_THROW(linearize(v({3, 0}), shape), FormatError);
+  std::vector<index_t> out(2);
+  EXPECT_THROW(delinearize(9, shape, out), FormatError);
+}
+
+TEST(Linearize, RankMismatchRejected) {
+  const Shape shape{3, 3};
+  EXPECT_THROW(linearize(v({1, 1, 1}), shape), FormatError);
+}
+
+TEST(Linearize, LinearizeAll) {
+  const Shape shape{3, 3, 3};
+  CoordBuffer coords(3);
+  coords.append({0, 0, 1});
+  coords.append({2, 2, 2});
+  const auto addresses = linearize_all(coords, shape);
+  ASSERT_EQ(addresses.size(), 2u);
+  EXPECT_EQ(addresses[0], 1u);
+  EXPECT_EQ(addresses[1], 26u);
+}
+
+TEST(Linearize, LocalAddressingSubtractsOrigin) {
+  // Box [10..12, 20..24]: local shape 3x5.
+  const Box box({10, 20}, {12, 24});
+  EXPECT_EQ(linearize_local(v({10, 20}), box), 0u);
+  EXPECT_EQ(linearize_local(v({10, 21}), box), 1u);
+  EXPECT_EQ(linearize_local(v({11, 20}), box), 5u);
+  EXPECT_EQ(linearize_local(v({12, 24}), box), 14u);
+}
+
+TEST(Linearize, LocalRoundTrip) {
+  const Box box({3, 7, 1}, {5, 9, 4});
+  std::vector<index_t> point(3);
+  for (index_t address = 0; address < box.cell_count(); ++address) {
+    delinearize_local(address, box, point);
+    EXPECT_EQ(linearize_local(point, box), address);
+    EXPECT_TRUE(box.contains(point));
+  }
+}
+
+TEST(Linearize, LocalOutsideBoxRejected) {
+  const Box box({5, 5}, {6, 6});
+  EXPECT_THROW(linearize_local(v({4, 5}), box), FormatError);
+}
+
+TEST(Linearize, LocalAvoidsGlobalOverflow) {
+  // A tensor too large to linearize globally, but whose occupied block is
+  // tiny — the paper's block-based overflow remedy.
+  const Box box({1ull << 62, 1ull << 62}, {(1ull << 62) + 1, (1ull << 62) + 1});
+  EXPECT_EQ(linearize_local(v({(1ull << 62) + 1, (1ull << 62) + 1}), box),
+            3u);
+}
+
+}  // namespace
+}  // namespace artsparse

@@ -1,0 +1,289 @@
+// SparseTensor facade + computation kernels. Kernels are validated against
+// brute-force dense references, and checked to be organization-independent
+// (every org produces the identical result).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/linearize.hpp"
+#include "ops/kernels.hpp"
+#include "test_support.hpp"
+
+namespace artsparse {
+namespace {
+
+SparseTensor fig1_tensor(OrgKind org = OrgKind::kGcsr) {
+  return SparseTensor(testing::fig1_coords(), testing::fig1_values(),
+                      testing::fig1_shape(), org);
+}
+
+// ---------- facade ----------
+
+TEST(SparseTensor, AtReturnsStoredValues) {
+  const SparseTensor tensor = fig1_tensor();
+  const CoordBuffer coords = testing::fig1_coords();
+  const auto values = testing::fig1_values();
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    ASSERT_EQ(tensor.at(coords.point(i)), values[i]);
+  }
+  const std::vector<index_t> absent{1, 1, 1};
+  EXPECT_FALSE(tensor.at(absent).has_value());
+  EXPECT_EQ(tensor.nnz(), 5u);
+}
+
+TEST(SparseTensor, ForEachVisitsBoxOnly) {
+  const SparseTensor tensor = fig1_tensor(OrgKind::kCsf);
+  std::size_t visited = 0;
+  value_t sum = 0.0;
+  tensor.for_each(Box({0, 0, 0}, {0, 2, 2}),
+                  [&](std::span<const index_t> p, value_t v) {
+                    EXPECT_EQ(p[0], 0u);
+                    ++visited;
+                    sum += v;
+                  });
+  EXPECT_EQ(visited, 3u);  // the three points with first coordinate 0
+  EXPECT_EQ(sum, 1.0 + 2.0 + 3.0);
+}
+
+TEST(SparseTensor, ToDenseMatchesAt) {
+  const SparseTensor tensor = fig1_tensor(OrgKind::kLinear);
+  const auto dense = tensor.to_dense();
+  ASSERT_EQ(dense.size(), 27u);
+  EXPECT_EQ(dense[1], 1.0);    // (0,0,1)
+  EXPECT_EQ(dense[26], 5.0);   // (2,2,2)
+  EXPECT_EQ(dense[0], 0.0);
+}
+
+TEST(SparseTensor, ToDenseRefusesHugeTensors) {
+  CoordBuffer coords(2);
+  coords.append({0, 0});
+  const std::vector<value_t> values{1.0};
+  const SparseTensor tensor(coords, values, Shape{1 << 16, 1 << 16},
+                            OrgKind::kCoo);
+  EXPECT_THROW(tensor.to_dense(), FormatError);
+}
+
+TEST(SparseTensor, MismatchedValuesRejected) {
+  CoordBuffer coords(2);
+  coords.append({0, 0});
+  const std::vector<value_t> values{1.0, 2.0};
+  EXPECT_THROW(
+      SparseTensor(coords, values, Shape{4, 4}, OrgKind::kCoo),
+      FormatError);
+}
+
+TEST(SparseTensor, IteratorVisitsEveryEntryOnce) {
+  const Shape shape{20, 20};
+  const SparseDataset dataset = make_dataset(shape, GspConfig{0.1}, 8);
+  const SparseTensor tensor(dataset, OrgKind::kCsf);
+
+  std::set<index_t> seen;
+  value_t sum = 0.0;
+  for (const auto entry : tensor) {
+    seen.insert(linearize(entry.coords, shape));
+    sum += entry.value;
+  }
+  EXPECT_EQ(seen.size(), dataset.point_count());
+  value_t expected_sum = 0.0;
+  for (value_t v : dataset.values) expected_sum += v;
+  EXPECT_DOUBLE_EQ(sum, expected_sum);
+}
+
+TEST(SparseTensor, IteratorSatisfiesForwardSemantics) {
+  const SparseTensor tensor = fig1_tensor();
+  auto it = tensor.begin();
+  const auto first = (*it).value;
+  auto copy = it++;
+  EXPECT_EQ((*copy).value, first);
+  EXPECT_NE((*it).value, first);
+
+  std::size_t count = 0;
+  for (auto i = tensor.begin(); i != tensor.end(); ++i) ++count;
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(SparseTensor, EmptyTensorIteratesNothing) {
+  const SparseTensor tensor(CoordBuffer(2), std::vector<value_t>{},
+                            Shape{4, 4}, OrgKind::kCoo);
+  EXPECT_TRUE(tensor.begin() == tensor.end());
+}
+
+// ---------- SpMV ----------
+
+class SpmvAllOrgs : public ::testing::TestWithParam<OrgKind> {};
+
+TEST_P(SpmvAllOrgs, MatchesDenseReference) {
+  const Shape shape{24, 40};
+  const SparseDataset dataset = make_dataset(shape, GspConfig{0.1}, 17);
+  const SparseTensor A(dataset, GetParam());
+
+  std::vector<value_t> x(40);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.25 * static_cast<value_t>(i) - 3.0;
+  }
+  const auto y = spmv(A, x);
+
+  // Dense reference.
+  std::vector<value_t> expected(24, 0.0);
+  for (std::size_t i = 0; i < dataset.coords.size(); ++i) {
+    const auto p = dataset.coords.point(i);
+    expected[p[0]] += dataset.values[i] * x[p[1]];
+  }
+  ASSERT_EQ(y.size(), expected.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], expected[i], 1e-9 * (1.0 + std::abs(expected[i])));
+  }
+}
+
+TEST_P(SpmvAllOrgs, TransposedMatchesReference) {
+  const Shape shape{16, 12};
+  const SparseDataset dataset = make_dataset(shape, GspConfig{0.2}, 3);
+  const SparseTensor A(dataset, GetParam());
+  std::vector<value_t> x(16, 1.0);
+  const auto y = spmv_transposed(A, x);
+  std::vector<value_t> expected(12, 0.0);
+  for (std::size_t i = 0; i < dataset.coords.size(); ++i) {
+    expected[dataset.coords.at(i, 1)] += dataset.values[i];
+  }
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], expected[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orgs, SpmvAllOrgs,
+                         ::testing::Values(OrgKind::kCoo, OrgKind::kLinear,
+                                           OrgKind::kGcsr, OrgKind::kGcsc,
+                                           OrgKind::kCsf,
+                                           OrgKind::kSortedCoo),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           std::erase(name, '+');
+                           return name;
+                         });
+
+TEST(Spmv, RankAndLengthChecks) {
+  const SparseTensor three_d = fig1_tensor();
+  std::vector<value_t> x(3, 1.0);
+  EXPECT_THROW(spmv(three_d, x), FormatError);
+
+  CoordBuffer coords(2);
+  coords.append({0, 0});
+  const std::vector<value_t> values{1.0};
+  const SparseTensor A(coords, values, Shape{4, 6}, OrgKind::kGcsr);
+  std::vector<value_t> wrong(5, 1.0);
+  EXPECT_THROW(spmv(A, wrong), FormatError);
+}
+
+// ---------- MTTKRP ----------
+
+DenseMatrix iota_matrix(std::size_t rows, std::size_t cols, double scale) {
+  DenseMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = scale * static_cast<double>(r + 1) +
+                   0.1 * static_cast<double>(c);
+    }
+  }
+  return m;
+}
+
+TEST(Mttkrp, MatchesBruteForceEveryModeEveryOrg) {
+  const Shape shape{6, 8, 10};
+  const SparseDataset dataset = make_dataset(shape, GspConfig{0.15}, 23);
+  constexpr std::size_t kRank = 4;
+
+  for (std::size_t mode = 0; mode < 3; ++mode) {
+    const std::size_t j_dim = mode == 0 ? 1 : 0;
+    const std::size_t k_dim = mode == 2 ? 1 : 2;
+    const DenseMatrix B = iota_matrix(shape.extent(j_dim), kRank, 0.5);
+    const DenseMatrix C = iota_matrix(shape.extent(k_dim), kRank, -0.25);
+
+    // Brute force from the raw dataset.
+    DenseMatrix expected(shape.extent(mode), kRank);
+    for (std::size_t i = 0; i < dataset.coords.size(); ++i) {
+      const auto p = dataset.coords.point(i);
+      for (std::size_t r = 0; r < kRank; ++r) {
+        expected.at(p[mode], r) +=
+            dataset.values[i] * B.at(p[j_dim], r) * C.at(p[k_dim], r);
+      }
+    }
+
+    for (OrgKind org : kPaperOrgs) {
+      const SparseTensor X(dataset, org);
+      const DenseMatrix M = mttkrp(X, B, C, mode);
+      ASSERT_EQ(M.rows(), expected.rows());
+      for (std::size_t i = 0; i < M.rows(); ++i) {
+        for (std::size_t r = 0; r < kRank; ++r) {
+          ASSERT_NEAR(M.at(i, r), expected.at(i, r),
+                      1e-6 * (1.0 + std::abs(expected.at(i, r))))
+              << to_string(org) << " mode " << mode;
+        }
+      }
+    }
+  }
+}
+
+TEST(Mttkrp, ShapeChecks) {
+  const SparseTensor X = fig1_tensor();
+  EXPECT_THROW(mttkrp(X, DenseMatrix(2, 2), DenseMatrix(3, 2), 0),
+               FormatError);  // B rows mismatch
+  EXPECT_THROW(mttkrp(X, DenseMatrix(3, 2), DenseMatrix(3, 3), 0),
+               FormatError);  // rank mismatch
+  EXPECT_THROW(mttkrp(X, DenseMatrix(3, 2), DenseMatrix(3, 2), 5),
+               FormatError);  // bad mode
+}
+
+// ---------- TTV ----------
+
+TEST(Ttv, ContractsAgainstBruteForce) {
+  const Shape shape{5, 6, 7};
+  const SparseDataset dataset = make_dataset(shape, GspConfig{0.2}, 31);
+  const SparseTensor X(dataset, OrgKind::kCsf);
+  std::vector<value_t> v(6);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = 1.0 + 0.5 * i;
+
+  const auto [coords, values] = ttv(X, v, /*mode=*/1);
+
+  // Brute force into a dense 5x7 slab.
+  std::vector<value_t> dense(35, 0.0);
+  for (std::size_t i = 0; i < dataset.coords.size(); ++i) {
+    const auto p = dataset.coords.point(i);
+    dense[p[0] * 7 + p[2]] += dataset.values[i] * v[p[1]];
+  }
+  // Every returned point matches; every non-returned cell is ~0.
+  std::vector<value_t> got(35, 0.0);
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    got[coords.at(i, 0) * 7 + coords.at(i, 1)] = values[i];
+  }
+  for (std::size_t cell = 0; cell < 35; ++cell) {
+    EXPECT_NEAR(got[cell], dense[cell], 1e-9);
+  }
+}
+
+TEST(Ttv, OutputIsRowMajorSorted) {
+  const SparseTensor X = fig1_tensor();
+  const std::vector<value_t> v{1.0, 1.0, 1.0};
+  const auto [coords, values] = ttv(X, v, 2);
+  const Shape reduced{3, 3};
+  for (std::size_t i = 1; i < coords.size(); ++i) {
+    EXPECT_LT(linearize(coords.point(i - 1), reduced),
+              linearize(coords.point(i), reduced));
+  }
+}
+
+TEST(Ttv, ModeAndLengthChecks) {
+  const SparseTensor X = fig1_tensor();
+  const std::vector<value_t> short_v{1.0};
+  EXPECT_THROW(ttv(X, short_v, 0), FormatError);
+  const std::vector<value_t> v{1.0, 1.0, 1.0};
+  EXPECT_THROW(ttv(X, v, 3), FormatError);
+}
+
+TEST(NormSquared, SumsSquares) {
+  const SparseTensor X = fig1_tensor();
+  EXPECT_DOUBLE_EQ(norm_squared(X), 1.0 + 4.0 + 9.0 + 16.0 + 25.0);
+}
+
+}  // namespace
+}  // namespace artsparse

@@ -1,0 +1,101 @@
+#include "core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "core/error.hpp"
+#include "core/linearize.hpp"
+#include "patterns/dataset.hpp"
+
+namespace artsparse {
+namespace {
+
+TEST(Parallel, WorkerCountAtLeastOne) {
+  EXPECT_GE(worker_count(), 1u);
+}
+
+TEST(Parallel, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = kParallelGrain * 3 + 17;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          hits[i].fetch_add(1);
+        }
+      },
+      4);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(Parallel, EmptyRangeIsNoOp) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, SmallRangeRunsInline) {
+  // Below the grain the callback sees the whole range in one call.
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for(
+      0, 100,
+      [&](std::size_t lo, std::size_t hi) { chunks.emplace_back(lo, hi); },
+      8);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], std::make_pair(std::size_t{0}, std::size_t{100}));
+}
+
+TEST(Parallel, NonZeroBeginHonored) {
+  std::atomic<std::size_t> sum{0};
+  parallel_for(
+      10, kParallelGrain + 1010,
+      [&](std::size_t lo, std::size_t hi) {
+        std::size_t local = 0;
+        for (std::size_t i = lo; i < hi; ++i) local += i;
+        sum.fetch_add(local);
+      },
+      3);
+  const std::size_t n = kParallelGrain + 1010;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2 - 10 * 9 / 2);
+}
+
+TEST(Parallel, WorkerExceptionPropagates) {
+  EXPECT_THROW(
+      parallel_for(
+          0, kParallelGrain * 2,
+          [&](std::size_t lo, std::size_t) {
+            if (lo == 0) throw FormatError("boom");
+          },
+          2),
+      FormatError);
+}
+
+TEST(Parallel, TransformFillsOutput) {
+  const std::size_t n = kParallelGrain + 5;
+  std::vector<std::size_t> out(n);
+  parallel_transform(n, out, [](std::size_t i) { return i * 2; }, 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], i * 2);
+  }
+}
+
+TEST(Parallel, LinearizeAllIdenticalAcrossThreadCounts) {
+  // Determinism: the parallel path must be bit-identical to serial.
+  const Shape shape{256, 256};
+  const SparseDataset dataset = make_dataset(shape, GspConfig{0.9}, 7);
+  ASSERT_GT(dataset.point_count(), kParallelGrain);  // engages threads
+
+  const auto parallel = linearize_all(dataset.coords, shape);
+  std::vector<index_t> serial(dataset.point_count());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    serial[i] = linearize(dataset.coords.point(i), shape);
+  }
+  EXPECT_EQ(parallel, serial);
+}
+
+}  // namespace
+}  // namespace artsparse

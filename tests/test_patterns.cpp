@@ -1,0 +1,229 @@
+#include "patterns/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/error.hpp"
+#include "core/linearize.hpp"
+#include "patterns/dataset.hpp"
+
+namespace artsparse {
+namespace {
+
+std::set<index_t> address_set(const CoordBuffer& coords,
+                              const Shape& shape) {
+  std::set<index_t> addresses;
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    addresses.insert(linearize(coords.point(i), shape));
+  }
+  return addresses;
+}
+
+// ---------- TSP ----------
+
+TEST(Tsp, CellsSatisfyBandCondition) {
+  const Shape shape{32, 32};
+  const CoordBuffer cells = generate_tsp(shape, TspConfig{4});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto p = cells.point(i);
+    const auto [lo, hi] = std::minmax_element(p.begin(), p.end());
+    EXPECT_LE(*hi - *lo, 4u);
+  }
+}
+
+TEST(Tsp, EnumerationIsExhaustive2D) {
+  // Brute-force cross-check on a small tensor.
+  const Shape shape{16, 16};
+  const TspConfig config{3};
+  const auto generated = address_set(generate_tsp(shape, config), shape);
+
+  std::set<index_t> expected;
+  for (index_t r = 0; r < 16; ++r) {
+    for (index_t c = 0; c < 16; ++c) {
+      const index_t diff = r > c ? r - c : c - r;
+      if (diff <= 3) expected.insert(r * 16 + c);
+    }
+  }
+  EXPECT_EQ(generated, expected);
+}
+
+TEST(Tsp, PointsAreDistinct) {
+  const Shape shape{20, 20, 20};
+  const CoordBuffer cells = generate_tsp(shape, TspConfig{2});
+  EXPECT_EQ(address_set(cells, shape).size(), cells.size());
+}
+
+TEST(Tsp, ZeroWidthIsMainDiagonal) {
+  const Shape shape{8, 8, 8};
+  const CoordBuffer cells = generate_tsp(shape, TspConfig{0});
+  EXPECT_EQ(cells.size(), 8u);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells.at(i, 0), cells.at(i, 1));
+    EXPECT_EQ(cells.at(i, 0), cells.at(i, 2));
+  }
+}
+
+TEST(Tsp, PaperBandLengthNineIs2DWidthNine) {
+  // "band length 9" = half-width 4: row 10 holds columns 6..14.
+  const Shape shape{32, 32};
+  const CoordBuffer cells = generate_tsp(shape, TspConfig{4});
+  std::size_t in_row_10 = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (cells.at(i, 0) == 10) ++in_row_10;
+  }
+  EXPECT_EQ(in_row_10, 9u);
+}
+
+TEST(Tsp, DeterministicAcrossCalls) {
+  const Shape shape{24, 24};
+  EXPECT_TRUE(generate_tsp(shape, TspConfig{4}) ==
+              generate_tsp(shape, TspConfig{4}));
+}
+
+TEST(Tsp, NonCubicShapeClamped) {
+  const Shape shape{4, 16};
+  const CoordBuffer cells = generate_tsp(shape, TspConfig{8});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_LT(cells.at(i, 0), 4u);
+    EXPECT_LT(cells.at(i, 1), 16u);
+  }
+}
+
+// ---------- GSP ----------
+
+TEST(Gsp, DensityTracksProbability) {
+  const Shape shape{256, 256};
+  const CoordBuffer cells = generate_gsp(shape, GspConfig{0.01}, 9);
+  const double density = static_cast<double>(cells.size()) /
+                         static_cast<double>(shape.element_count());
+  EXPECT_NEAR(density, 0.01, 0.002);
+}
+
+TEST(Gsp, SeedReproducibility) {
+  const Shape shape{64, 64};
+  EXPECT_TRUE(generate_gsp(shape, GspConfig{0.05}, 1) ==
+              generate_gsp(shape, GspConfig{0.05}, 1));
+  EXPECT_FALSE(generate_gsp(shape, GspConfig{0.05}, 1) ==
+               generate_gsp(shape, GspConfig{0.05}, 2));
+}
+
+TEST(Gsp, PointsAreDistinctAndInShape) {
+  const Shape shape{40, 40, 40};
+  const CoordBuffer cells = generate_gsp(shape, GspConfig{0.02}, 5);
+  EXPECT_EQ(address_set(cells, shape).size(), cells.size());
+}
+
+TEST(Gsp, ZeroProbabilityIsEmpty) {
+  EXPECT_TRUE(generate_gsp(Shape{32, 32}, GspConfig{0.0}, 1).empty());
+}
+
+TEST(Gsp, FullProbabilityIsDense) {
+  const Shape shape{6, 7};
+  const CoordBuffer cells = generate_gsp(shape, GspConfig{1.0}, 1);
+  EXPECT_EQ(cells.size(), shape.element_count());
+}
+
+TEST(Gsp, InvalidProbabilityRejected) {
+  EXPECT_THROW(generate_gsp(Shape{8, 8}, GspConfig{1.5}, 1), FormatError);
+}
+
+TEST(Gsp, SpreadAcrossTensor) {
+  // Random cells should land in every quadrant.
+  const Shape shape{128, 128};
+  const CoordBuffer cells = generate_gsp(shape, GspConfig{0.02}, 3);
+  int quadrants[4] = {0, 0, 0, 0};
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int q = (cells.at(i, 0) >= 64 ? 2 : 0) +
+                  (cells.at(i, 1) >= 64 ? 1 : 0);
+    ++quadrants[q];
+  }
+  for (int q : quadrants) EXPECT_GT(q, 0);
+}
+
+// ---------- MSP ----------
+
+TEST(Msp, RegionIsDenserThanBackground) {
+  const Shape shape{96, 96};
+  const CoordBuffer cells =
+      generate_msp(shape, MspConfig{0.002, 0.5}, 11);
+  const Box region = msp_region(shape);
+  std::size_t inside = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (region.contains(cells.point(i))) ++inside;
+  }
+  const double inside_density =
+      static_cast<double>(inside) / static_cast<double>(region.cell_count());
+  const double outside_density =
+      static_cast<double>(cells.size() - inside) /
+      static_cast<double>(shape.element_count() - region.cell_count());
+  EXPECT_GT(inside_density, 50 * outside_density);
+}
+
+TEST(Msp, RegionPlacementMatchesPaper) {
+  const Box region = msp_region(Shape{90, 90, 90});
+  EXPECT_EQ(region.lo(0), 30u);
+  EXPECT_EQ(region.hi(0), 59u);  // origin m/3, size m/3
+}
+
+TEST(Msp, FullRegionFillIsFullyDense) {
+  const Shape shape{30, 30};
+  const CoordBuffer cells = generate_msp(shape, MspConfig{0.0, 1.0}, 1);
+  const Box region = msp_region(shape);
+  EXPECT_EQ(cells.size(), region.cell_count());
+}
+
+TEST(Msp, NoDuplicatesBetweenBackgroundAndRegion) {
+  const Shape shape{60, 60};
+  const CoordBuffer cells = generate_msp(shape, MspConfig{0.05, 0.8}, 13);
+  EXPECT_EQ(address_set(cells, shape).size(), cells.size());
+}
+
+TEST(Msp, SeedReproducibility) {
+  const Shape shape{48, 48};
+  EXPECT_TRUE(generate_msp(shape, MspConfig{}, 21) ==
+              generate_msp(shape, MspConfig{}, 21));
+}
+
+// ---------- dataset ----------
+
+TEST(Dataset, AddressValuesAreSelfVerifying) {
+  const SparseDataset dataset =
+      make_dataset(Shape{32, 32}, GspConfig{0.05}, 3);
+  for (std::size_t i = 0; i < dataset.coords.size(); ++i) {
+    EXPECT_EQ(dataset.values[i],
+              expected_value(dataset.coords.point(i), dataset.shape));
+  }
+}
+
+TEST(Dataset, RandomValuesInUnitInterval) {
+  const SparseDataset dataset = make_dataset(
+      Shape{32, 32}, GspConfig{0.05}, 3, ValueKind::kRandom);
+  for (value_t v : dataset.values) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Dataset, DensityReported) {
+  const SparseDataset dataset =
+      make_dataset(Shape{100, 100}, GspConfig{0.03}, 5);
+  EXPECT_NEAR(dataset.density(), 0.03, 0.01);
+  EXPECT_EQ(dataset.pattern, PatternKind::kGsp);
+}
+
+TEST(Dataset, PatternKindFromSpec) {
+  EXPECT_EQ(pattern_kind(TspConfig{}), PatternKind::kTsp);
+  EXPECT_EQ(pattern_kind(GspConfig{}), PatternKind::kGsp);
+  EXPECT_EQ(pattern_kind(MspConfig{}), PatternKind::kMsp);
+}
+
+TEST(PatternNames, ToString) {
+  EXPECT_EQ(to_string(PatternKind::kTsp), "TSP");
+  EXPECT_EQ(to_string(PatternKind::kGsp), "GSP");
+  EXPECT_EQ(to_string(PatternKind::kMsp), "MSP");
+}
+
+}  // namespace
+}  // namespace artsparse

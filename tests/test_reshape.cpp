@@ -1,0 +1,116 @@
+#include "core/reshape.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/error.hpp"
+#include "core/linearize.hpp"
+#include "formats/registry.hpp"
+#include "patterns/dataset.hpp"
+
+namespace artsparse {
+namespace {
+
+TEST(Reshape, FoldShapeMergesGroupExtents) {
+  const Shape shape{4, 6, 8};
+  EXPECT_EQ(fold_shape(shape, {{0}, {1, 2}}), (Shape{4, 48}));
+  EXPECT_EQ(fold_shape(shape, {{0, 1, 2}}), (Shape{192}));
+  EXPECT_EQ(fold_shape(shape, {{2, 0}, {1}}), (Shape{32, 6}));
+}
+
+TEST(Reshape, GcsrFoldIsolatesSmallestExtent) {
+  const Shape shape{8, 2, 4};
+  const FoldGroups groups = gcsr_fold(shape);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(groups[1], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(fold_shape(shape, groups), (Shape{2, 32}));
+}
+
+TEST(Reshape, FoldCoordsRowMajorWithinGroup) {
+  const Shape shape{3, 3, 3};
+  CoordBuffer coords(3);
+  coords.append({2, 2, 1});
+  // Group {1, 2}: address = 2*3 + 1 = 7.
+  const CoordBuffer folded = fold_coords(coords, shape, {{0}, {1, 2}});
+  EXPECT_EQ(folded.at(0, 0), 2u);
+  EXPECT_EQ(folded.at(0, 1), 7u);
+}
+
+TEST(Reshape, FoldUnfoldRoundTrip) {
+  const Shape shape{5, 7, 3, 4};
+  const SparseDataset dataset = make_dataset(shape, GspConfig{0.05}, 9);
+  const FoldGroups groups{{2, 0}, {3, 1}};
+  const CoordBuffer folded = fold_coords(dataset.coords, shape, groups);
+
+  std::vector<index_t> restored(4);
+  for (std::size_t i = 0; i < folded.size(); ++i) {
+    unfold_point(folded.point(i), shape, groups, restored);
+    const auto original = dataset.coords.point(i);
+    EXPECT_TRUE(std::equal(original.begin(), original.end(),
+                           restored.begin()));
+  }
+}
+
+TEST(Reshape, FoldIsInjective) {
+  // Distinct points stay distinct after folding (losslessness).
+  const Shape shape{6, 6, 6};
+  const SparseDataset dataset = make_dataset(shape, GspConfig{0.3}, 5);
+  const FoldGroups groups{{0, 1}, {2}};
+  const CoordBuffer folded = fold_coords(dataset.coords, shape, groups);
+  const Shape folded_shape = fold_shape(shape, groups);
+  std::set<index_t> addresses;
+  for (std::size_t i = 0; i < folded.size(); ++i) {
+    addresses.insert(linearize(folded.point(i), folded_shape));
+  }
+  EXPECT_EQ(addresses.size(), dataset.point_count());
+}
+
+TEST(Reshape, Finding2FoldedStorageShrinksCooIndex) {
+  // The paper's finding (2) in one assert: storing a folded-to-2D tensor
+  // in COO costs 2 words/point instead of d.
+  const Shape shape = Shape::uniform(4, 12);
+  const SparseDataset dataset = make_dataset(shape, GspConfig{0.02}, 3);
+  const FoldGroups groups = gcsr_fold(shape);
+  const CoordBuffer folded = fold_coords(dataset.coords, shape, groups);
+  const Shape folded_shape = fold_shape(shape, groups);
+
+  auto coo_4d = make_format(OrgKind::kCoo);
+  coo_4d->build(dataset.coords, shape);
+  auto coo_2d = make_format(OrgKind::kCoo);
+  coo_2d->build(folded, folded_shape);
+  EXPECT_LT(coo_2d->index_bytes(), coo_4d->index_bytes() * 0.6);
+
+  // And lookups still resolve through folded coordinates.
+  for (std::size_t i = 0; i < folded.size(); i += 17) {
+    EXPECT_NE(coo_2d->lookup(folded.point(i)), kNotFound);
+  }
+}
+
+TEST(Reshape, InvalidGroupsRejected) {
+  const Shape shape{4, 4};
+  EXPECT_THROW(fold_shape(shape, {{0}}), FormatError);          // missing 1
+  EXPECT_THROW(fold_shape(shape, {{0, 0}, {1}}), FormatError);  // repeat
+  EXPECT_THROW(fold_shape(shape, {{0, 2}, {1}}), FormatError);  // OOB
+  EXPECT_THROW(fold_shape(shape, {{0}, {}, {1}}), FormatError); // empty
+}
+
+TEST(Reshape, FoldedExtentOverflowDetected) {
+  // Shapes whose total cell count overflows cannot even be constructed
+  // (Shape guards it), so a fold can never overflow on a valid Shape; the
+  // guard fires at construction.
+  EXPECT_THROW(Shape({1ull << 32, 1ull << 33}), OverflowError);
+  // Large-but-valid shapes fold without tripping the defensive check.
+  const Shape shape{1ull << 31, 1ull << 31};
+  EXPECT_EQ(fold_shape(shape, {{0, 1}}).extent(0), 1ull << 62);
+}
+
+TEST(Reshape, Rank1GcsrFoldDegenerates) {
+  const FoldGroups groups = gcsr_fold(Shape{9});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(fold_shape(Shape{9}, groups), (Shape{9}));
+}
+
+}  // namespace
+}  // namespace artsparse

@@ -1,0 +1,83 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace artsparse {
+namespace {
+
+TEST(Rng, SplitMixDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, SplitMixSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroDeterministic) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowZeroBound) {
+  Xoshiro256 rng(3);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.next_below(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);  // all residues hit
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Xoshiro256 rng(9);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.next_below(10)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace artsparse

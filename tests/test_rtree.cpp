@@ -1,0 +1,176 @@
+#include "storage/rtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "storage/fragment_store.hpp"
+#include "patterns/dataset.hpp"
+#include "test_support.hpp"
+
+namespace artsparse {
+namespace {
+
+std::vector<Box> random_boxes(std::size_t count, std::size_t rank,
+                              index_t extent, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Box> boxes;
+  boxes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<index_t> lo(rank);
+    std::vector<index_t> hi(rank);
+    for (std::size_t d = 0; d < rank; ++d) {
+      lo[d] = rng.next_below(extent);
+      hi[d] = std::min<index_t>(extent - 1, lo[d] + rng.next_below(8));
+    }
+    boxes.emplace_back(std::move(lo), std::move(hi));
+  }
+  return boxes;
+}
+
+std::vector<std::size_t> brute_force(const std::vector<Box>& boxes,
+                                     const Box& query) {
+  std::vector<std::size_t> hits;
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    if (boxes[i].overlaps(query)) hits.push_back(i);
+  }
+  return hits;
+}
+
+TEST(RTree, EmptyTree) {
+  const RTree tree = RTree::bulk_load({});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 0u);
+  EXPECT_TRUE(tree.query(Box({0}, {10})).empty());
+}
+
+TEST(RTree, SingleBox) {
+  const RTree tree = RTree::bulk_load({Box({5, 5}, {9, 9})});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.height(), 1u);
+  EXPECT_EQ(tree.query(Box({0, 0}, {6, 6})),
+            (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(tree.query(Box({0, 0}, {4, 4})).empty());
+}
+
+TEST(RTree, QueriesMatchBruteForce2D) {
+  const auto boxes = random_boxes(500, 2, 256, 11);
+  const RTree tree = RTree::bulk_load(boxes);
+  Xoshiro256 rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    const index_t lo0 = rng.next_below(250);
+    const index_t lo1 = rng.next_below(250);
+    const Box query({lo0, lo1}, {lo0 + rng.next_below(40),
+                                 lo1 + rng.next_below(40)});
+    EXPECT_EQ(tree.query(query), brute_force(boxes, query));
+  }
+}
+
+TEST(RTree, QueriesMatchBruteForce4D) {
+  const auto boxes = random_boxes(300, 4, 48, 17);
+  const RTree tree = RTree::bulk_load(boxes, /*fanout=*/4);
+  Xoshiro256 rng(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<index_t> lo(4);
+    std::vector<index_t> hi(4);
+    for (std::size_t d = 0; d < 4; ++d) {
+      lo[d] = rng.next_below(40);
+      hi[d] = lo[d] + rng.next_below(10);
+    }
+    const Box query(std::move(lo), std::move(hi));
+    EXPECT_EQ(tree.query(query), brute_force(boxes, query));
+  }
+}
+
+TEST(RTree, WholeSpaceQueryReturnsEverything) {
+  const auto boxes = random_boxes(200, 3, 64, 23);
+  const RTree tree = RTree::bulk_load(boxes);
+  EXPECT_EQ(tree.query(Box({0, 0, 0}, {63, 63, 63})).size(), 200u);
+}
+
+TEST(RTree, HeightIsLogarithmic) {
+  const auto boxes = random_boxes(1000, 2, 1024, 29);
+  const RTree tree = RTree::bulk_load(boxes, /*fanout=*/16);
+  // 1000 entries, fanout 16: 63 leaves, 4 internal, 1 root -> height 3.
+  EXPECT_GE(tree.height(), 2u);
+  EXPECT_LE(tree.height(), 4u);
+}
+
+TEST(RTree, RejectsBadInput) {
+  EXPECT_THROW(RTree::bulk_load({Box({0}, {1})}, /*fanout=*/1), FormatError);
+  EXPECT_THROW(RTree::bulk_load({Box({0}, {1}), Box({0, 0}, {1, 1})}),
+               FormatError);
+  EXPECT_THROW(RTree::bulk_load({Box()}), FormatError);
+}
+
+TEST(RTree, DuplicateBoxesAllReturned) {
+  const Box same({3, 3}, {5, 5});
+  const RTree tree = RTree::bulk_load({same, same, same});
+  EXPECT_EQ(tree.query(Box({4, 4}, {4, 4})).size(), 3u);
+}
+
+// ---------- store integration: above the R-tree threshold ----------
+
+TEST(RTreeStore, LargeStoreDiscoveryMatchesSmallStore) {
+  const auto dir = testing::fresh_temp_dir("rtree_store");
+  const Shape shape{256, 256};
+  FragmentStore store(dir, shape);
+  // 64 single-tile fragments: above kRtreeThreshold, exercising the
+  // R-tree discovery path.
+  std::size_t total = 0;
+  for (index_t r = 0; r < 8; ++r) {
+    for (index_t c = 0; c < 8; ++c) {
+      CoordBuffer coords(2);
+      std::vector<value_t> values;
+      for (index_t k = 0; k < 4; ++k) {
+        coords.append({r * 32 + k, c * 32 + k});
+        values.push_back(
+            expected_value(coords.point(coords.size() - 1), shape));
+      }
+      store.write(coords, values, OrgKind::kLinear);
+      total += 4;
+    }
+  }
+  EXPECT_EQ(store.fragment_count(), 64u);
+
+  // Whole-space scan sees everything...
+  const ReadResult all = store.scan_region(Box::whole(shape));
+  EXPECT_EQ(all.values.size(), total);
+  // ...and a one-tile region opens exactly one fragment.
+  const ReadResult one = store.scan_region(Box({0, 0}, {8, 8}));
+  EXPECT_EQ(one.fragments_visited, 1u);
+  EXPECT_EQ(one.values.size(), 4u);
+  for (std::size_t i = 0; i < one.values.size(); ++i) {
+    EXPECT_EQ(one.values[i], expected_value(one.coords.point(i), shape));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RTreeStore, IndexRefreshesAfterNewWrites) {
+  const auto dir = testing::fresh_temp_dir("rtree_refresh");
+  const Shape shape{256, 256};
+  FragmentStore store(dir, shape);
+  for (index_t i = 0; i < 40; ++i) {
+    CoordBuffer coords(2);
+    coords.append({i, i});
+    const std::vector<value_t> values{
+        expected_value(coords.point(0), shape)};
+    store.write(coords, values, OrgKind::kCoo);
+  }
+  // Query (builds the R-tree), then append and query again: the new
+  // fragment must be discoverable.
+  EXPECT_EQ(store.scan_region(Box({0, 0}, {39, 39})).values.size(), 40u);
+  CoordBuffer late(2);
+  late.append({200, 200});
+  const std::vector<value_t> late_values{
+      expected_value(late.point(0), shape)};
+  store.write(late, late_values, OrgKind::kCoo);
+  const ReadResult hit = store.scan_region(Box({200, 200}, {200, 200}));
+  EXPECT_EQ(hit.values.size(), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace artsparse

@@ -1,0 +1,110 @@
+#include "core/shape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace artsparse {
+namespace {
+
+TEST(Shape, BasicExtentsAndRank) {
+  const Shape shape{3, 4, 5};
+  EXPECT_EQ(shape.rank(), 3u);
+  EXPECT_EQ(shape.extent(0), 3u);
+  EXPECT_EQ(shape.extent(1), 4u);
+  EXPECT_EQ(shape.extent(2), 5u);
+  EXPECT_FALSE(shape.empty());
+}
+
+TEST(Shape, DefaultIsEmpty) {
+  const Shape shape;
+  EXPECT_TRUE(shape.empty());
+  EXPECT_EQ(shape.rank(), 0u);
+  EXPECT_EQ(shape.element_count(), 0u);
+}
+
+TEST(Shape, RowMajorStrides) {
+  const Shape shape{3, 4, 5};
+  ASSERT_EQ(shape.strides().size(), 3u);
+  EXPECT_EQ(shape.strides()[0], 20u);
+  EXPECT_EQ(shape.strides()[1], 5u);
+  EXPECT_EQ(shape.strides()[2], 1u);
+}
+
+TEST(Shape, ElementCount) {
+  EXPECT_EQ((Shape{3, 4, 5}).element_count(), 60u);
+  EXPECT_EQ((Shape{7}).element_count(), 7u);
+  EXPECT_EQ(Shape::uniform(4, 128).element_count(), 128ull * 128 * 128 * 128);
+}
+
+TEST(Shape, MinExtent) {
+  const Shape shape{8, 2, 5};
+  EXPECT_EQ(shape.min_extent(), 2u);
+  EXPECT_EQ(shape.min_extent_dim(), 1u);
+}
+
+TEST(Shape, MinExtentTieBreaksToFirst) {
+  const Shape shape{4, 2, 2};
+  EXPECT_EQ(shape.min_extent_dim(), 1u);
+}
+
+TEST(Shape, Flatten2DPicksSmallestAsRows) {
+  // The paper's 3x3x3 example: rows = 3, cols = 9.
+  const Flat2D flat = Shape{3, 3, 3}.flatten_2d();
+  EXPECT_EQ(flat.rows, 3u);
+  EXPECT_EQ(flat.cols, 9u);
+  EXPECT_EQ(flat.min_dim, 0u);
+}
+
+TEST(Shape, Flatten2DNonUniform) {
+  const Flat2D flat = Shape{16, 4, 8}.flatten_2d();
+  EXPECT_EQ(flat.rows, 4u);
+  EXPECT_EQ(flat.cols, 128u);
+  EXPECT_EQ(flat.min_dim, 1u);
+}
+
+TEST(Shape, Flatten2DRank1Degenerates) {
+  const Flat2D flat = Shape{9}.flatten_2d();
+  EXPECT_EQ(flat.rows, 9u);
+  EXPECT_EQ(flat.cols, 1u);
+}
+
+TEST(Shape, Uniform) {
+  EXPECT_EQ(Shape::uniform(3, 512), (Shape{512, 512, 512}));
+}
+
+TEST(Shape, ZeroExtentRejected) {
+  EXPECT_THROW(Shape({3, 0, 5}), FormatError);
+}
+
+TEST(Shape, ExtentOutOfRangeRejected) {
+  const Shape shape{3, 4};
+  EXPECT_THROW(shape.extent(2), FormatError);
+}
+
+TEST(Shape, ElementCountOverflowDetected) {
+  // 2^32 * 2^32 == 2^64 overflows index_t.
+  EXPECT_THROW(Shape({1ull << 32, 1ull << 32}), OverflowError);
+}
+
+TEST(Shape, LargeButRepresentableAccepted) {
+  const Shape shape{1ull << 31, 1ull << 31};
+  EXPECT_EQ(shape.element_count(), 1ull << 62);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_FALSE((Shape{2, 3}) == (Shape{3, 2}));
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ((Shape{3, 4, 5}).to_string(), "(3 x 4 x 5)");
+}
+
+TEST(Shape, MinExtentOnEmptyShapeRejected) {
+  EXPECT_THROW(Shape().min_extent(), FormatError);
+  EXPECT_THROW(Shape().flatten_2d(), FormatError);
+}
+
+}  // namespace
+}  // namespace artsparse

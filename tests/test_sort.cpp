@@ -1,0 +1,90 @@
+#include "core/sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace artsparse {
+namespace {
+
+TEST(Sort, PermutationOrdersKeys) {
+  const std::vector<index_t> keys{30, 10, 20};
+  const auto perm = sort_permutation(keys);
+  ASSERT_EQ(perm.size(), 3u);
+  EXPECT_EQ(perm[0], 1u);
+  EXPECT_EQ(perm[1], 2u);
+  EXPECT_EQ(perm[2], 0u);
+}
+
+TEST(Sort, StableOnTies) {
+  const std::vector<index_t> keys{5, 1, 5, 1};
+  const auto perm = sort_permutation(keys);
+  // Equal keys keep input order: 1s at input 1 then 3; 5s at 0 then 2.
+  EXPECT_EQ(perm, (std::vector<std::size_t>{1, 3, 0, 2}));
+}
+
+TEST(Sort, EmptyInput) {
+  EXPECT_TRUE(sort_permutation({}).empty());
+}
+
+TEST(Sort, InvertPermutationRoundTrip) {
+  const std::vector<std::size_t> perm{2, 0, 3, 1};
+  const auto inverse = invert_permutation(perm);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(inverse[perm[i]], i);
+  }
+}
+
+TEST(Sort, InvertRejectsOutOfRange) {
+  const std::vector<std::size_t> bad{0, 5};
+  EXPECT_THROW(invert_permutation(bad), FormatError);
+}
+
+TEST(Sort, ApplyPermutationGathers) {
+  const std::vector<double> values{10.0, 20.0, 30.0};
+  const std::vector<std::size_t> perm{2, 0, 1};
+  const auto out = apply_permutation<double>(values, perm);
+  EXPECT_EQ(out, (std::vector<double>{30.0, 10.0, 20.0}));
+}
+
+TEST(Sort, MapSemanticsMatchPaper) {
+  // The paper's `map` records the *new* index of each input point. Sorting
+  // keys and then scattering values through the inverted permutation must
+  // equal gathering through the sort permutation.
+  const std::vector<index_t> keys{9, 3, 7, 1};
+  const std::vector<double> values{90.0, 30.0, 70.0, 10.0};
+  const auto perm = sort_permutation(keys);
+  const auto map = invert_permutation(perm);
+
+  std::vector<double> scattered(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    scattered[map[i]] = values[i];
+  }
+  const auto gathered = apply_permutation<double>(values, perm);
+  EXPECT_EQ(scattered, gathered);
+  EXPECT_EQ(scattered, (std::vector<double>{10.0, 30.0, 70.0, 90.0}));
+}
+
+TEST(Sort, IsPermutationOfIota) {
+  EXPECT_TRUE(is_permutation_of_iota(std::vector<std::size_t>{2, 0, 1}));
+  EXPECT_FALSE(is_permutation_of_iota(std::vector<std::size_t>{0, 0, 1}));
+  EXPECT_FALSE(is_permutation_of_iota(std::vector<std::size_t>{0, 3, 1}));
+  EXPECT_TRUE(is_permutation_of_iota(std::vector<std::size_t>{}));
+}
+
+TEST(Sort, RandomizedPermutationProperty) {
+  Xoshiro256 rng(7);
+  std::vector<index_t> keys(500);
+  for (auto& k : keys) k = rng.next_below(100);
+  const auto perm = sort_permutation(keys);
+  EXPECT_TRUE(is_permutation_of_iota(perm));
+  for (std::size_t i = 1; i < perm.size(); ++i) {
+    EXPECT_LE(keys[perm[i - 1]], keys[perm[i]]);
+  }
+}
+
+}  // namespace
+}  // namespace artsparse

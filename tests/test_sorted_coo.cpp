@@ -1,0 +1,90 @@
+#include "formats/sorted_coo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/linearize.hpp"
+#include "test_support.hpp"
+
+namespace artsparse {
+namespace {
+
+using testing::fig1_coords;
+using testing::fig1_shape;
+
+TEST(SortedCoo, SortsUnsortedInput) {
+  CoordBuffer coords(2);
+  coords.append({3, 3});
+  coords.append({0, 1});
+  coords.append({1, 2});
+  SortedCooFormat format;
+  const auto map = format.build(coords, Shape{4, 4});
+  // Stored order must be ascending by linear address: (0,1), (1,2), (3,3).
+  EXPECT_EQ(format.coords().at(0, 0), 0u);
+  EXPECT_EQ(format.coords().at(1, 0), 1u);
+  EXPECT_EQ(format.coords().at(2, 0), 3u);
+  // map: input 0 -> slot 2, input 1 -> slot 0, input 2 -> slot 1.
+  EXPECT_EQ(map, (std::vector<std::size_t>{2, 0, 1}));
+}
+
+TEST(SortedCoo, LookupFindsEveryStoredPointViaMap) {
+  CoordBuffer coords(3);
+  coords.append({2, 2, 2});
+  coords.append({0, 0, 1});
+  coords.append({0, 1, 2});
+  SortedCooFormat format;
+  const auto map = format.build(coords, fig1_shape());
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    EXPECT_EQ(format.lookup(coords.point(i)), map[i]);
+  }
+}
+
+TEST(SortedCoo, MissesAbsentPoints) {
+  SortedCooFormat format;
+  format.build(fig1_coords(), fig1_shape());
+  const std::vector<index_t> below{0, 0, 0};
+  const std::vector<index_t> between{1, 0, 0};
+  const std::vector<index_t> above_all{2, 2, 2};
+  EXPECT_EQ(format.lookup(below), kNotFound);
+  EXPECT_EQ(format.lookup(between), kNotFound);
+  EXPECT_NE(format.lookup(above_all), kNotFound);  // present: last point
+}
+
+TEST(SortedCoo, LexicographicOrderEqualsAddressOrder) {
+  // The invariant binary search relies on.
+  SortedCooFormat format;
+  format.build(fig1_coords(), fig1_shape());
+  const auto& sorted = format.coords();
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_LT(linearize(sorted.point(i - 1), fig1_shape()),
+              linearize(sorted.point(i), fig1_shape()));
+  }
+}
+
+TEST(SortedCoo, SaveLoadRoundTrip) {
+  SortedCooFormat format;
+  const CoordBuffer coords = fig1_coords();
+  const auto map = format.build(coords, fig1_shape());
+  SortedCooFormat fresh;
+  testing::reload(format, fresh);
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    EXPECT_EQ(fresh.lookup(coords.point(i)), map[i]);
+  }
+}
+
+TEST(SortedCoo, EmptyBuild) {
+  SortedCooFormat format;
+  EXPECT_TRUE(format.build(CoordBuffer(2), Shape{4, 4}).empty());
+  const std::vector<index_t> point{0, 0};
+  EXPECT_EQ(format.lookup(point), kNotFound);
+}
+
+TEST(SortedCoo, SpaceMatchesCoo) {
+  // Sorting trades build time for read time; space stays O(n * d).
+  SortedCooFormat format;
+  format.build(fig1_coords(), fig1_shape());
+  const std::size_t payload = 5 * 3 * sizeof(index_t);
+  EXPECT_GE(format.index_bytes(), payload);
+}
+
+}  // namespace
+}  // namespace artsparse

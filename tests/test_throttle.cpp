@@ -1,0 +1,93 @@
+#include "storage/throttle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/timer.hpp"
+#include "test_support.hpp"
+
+namespace artsparse {
+namespace {
+
+class Throttle : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = testing::fresh_temp_dir("throttle"); }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(Throttle, UnthrottledModelIsPassThrough) {
+  const DeviceModel model = DeviceModel::unthrottled();
+  EXPECT_FALSE(model.throttled());
+  auto device = open_for_write((dir_ / "f.bin").string(), model);
+  device->write_all(Bytes(64, std::byte{1}));
+  EXPECT_EQ(device->size(), 64u);
+}
+
+TEST_F(Throttle, WriteChargesModeledTime) {
+  // 1 MB at 10 MB/s must take >= 0.1 s.
+  const DeviceModel model{10e6, 0.0};
+  auto device = open_for_write((dir_ / "f.bin").string(), model);
+  const Bytes payload(1 << 20, std::byte{0});
+  WallTimer timer;
+  device->write_all(payload);
+  EXPECT_GE(timer.seconds(), 0.095);
+}
+
+TEST_F(Throttle, LatencyChargedPerOperation) {
+  const DeviceModel model{1e12, 0.02};  // effectively pure latency
+  auto device = open_for_write((dir_ / "f.bin").string(), model);
+  WallTimer timer;
+  device->write_all(Bytes(8, std::byte{0}));
+  device->write_all(Bytes(8, std::byte{0}));
+  EXPECT_GE(timer.seconds(), 0.038);
+}
+
+TEST_F(Throttle, LargerWritesCostProportionallyMore) {
+  // The effect behind Table III: COO's 4x larger fragment must cost ~4x
+  // the write time under a fixed-bandwidth device.
+  const DeviceModel model{50e6, 0.0};
+  const Bytes small(1 << 18, std::byte{0});
+  const Bytes large(4 << 18, std::byte{0});
+
+  WallTimer timer;
+  {
+    auto device = open_for_write((dir_ / "small.bin").string(), model);
+    device->write_all(small);
+  }
+  const double t_small = timer.seconds();
+  timer.reset();
+  {
+    auto device = open_for_write((dir_ / "large.bin").string(), model);
+    device->write_all(large);
+  }
+  const double t_large = timer.seconds();
+  EXPECT_GT(t_large, 2.5 * t_small);
+  EXPECT_LT(t_large, 6.0 * t_small);
+}
+
+TEST_F(Throttle, ThrottledReadReturnsCorrectData) {
+  const DeviceModel model{100e6, 1e-4};
+  const Bytes payload(1024, std::byte{0x7e});
+  {
+    auto device = open_for_write((dir_ / "f.bin").string(), model);
+    device->write_all(payload);
+  }
+  auto device = open_for_read((dir_ / "f.bin").string(), model);
+  EXPECT_EQ(device->read_at(0, 1024), payload);
+}
+
+TEST_F(Throttle, LustreLikeDefaultsAreSane) {
+  const DeviceModel model = DeviceModel::lustre_like();
+  EXPECT_TRUE(model.throttled());
+  EXPECT_GT(model.bandwidth_bytes_per_sec, 1e8);
+  EXPECT_GT(model.latency_sec, 0.0);
+}
+
+}  // namespace
+}  // namespace artsparse

@@ -1,0 +1,250 @@
+// artsparse — command-line front end for the library.
+//
+//   artsparse generate --shape 512,512 --pattern gsp --density 0.01
+//                      --seed 42 --store DIR --org gcsr [--tile 128,128]
+//   artsparse import   --store DIR --shape 512,512 --tsv points.tsv
+//                      --org linear
+//   artsparse read     --store DIR --region 10:20,30:40 [--print]
+//   artsparse scan     --store DIR --region 10:20,30:40 [--print]
+//   artsparse info     --store DIR
+//   artsparse advise   --store DIR [--weights balanced|read|archive]
+//   artsparse consolidate --store DIR [--org ORG]
+//   artsparse export   --store DIR --tsv out.tsv
+//
+// Every command prints a one-line summary; data-carrying commands accept
+// --print to dump points.
+#include <cstdio>
+
+#include "cli_support.hpp"
+
+namespace artsparse::cli {
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage: artsparse <command> [options]\n"
+      "  generate  --shape S --pattern tsp|gsp|msp --density F --seed N\n"
+      "            --store DIR [--org ORG] [--tile S] [--codec none|dv]\n"
+      "  import    --store DIR --shape S --tsv FILE [--org ORG]\n"
+      "  read      --store DIR --region lo:hi,... [--print]\n"
+      "  scan      --store DIR --region lo:hi,... [--print]\n"
+      "  info      --store DIR\n"
+      "  advise    --store DIR [--weights balanced|read|archive]\n"
+      "  consolidate --store DIR [--org ORG]\n"
+      "  export    --store DIR --tsv FILE\n",
+      stderr);
+  return 2;
+}
+
+PatternSpec spec_for(PatternKind pattern, const Shape& shape,
+                     double density) {
+  switch (pattern) {
+    case PatternKind::kTsp:
+      return calibrate_tsp(shape, density);
+    case PatternKind::kGsp:
+      return calibrate_gsp(density);
+    case PatternKind::kMsp:
+      return calibrate_msp(shape, density,
+                           std::min(0.001, density / 2.0));
+  }
+  throw FormatError("unknown pattern");
+}
+
+CodecKind codec_for(const std::string& name) {
+  if (name.empty() || name == "none" || name == "identity") {
+    return CodecKind::kIdentity;
+  }
+  if (name == "dv" || name == "delta-varint") return CodecKind::kDeltaVarint;
+  if (name == "delta") return CodecKind::kDelta;
+  if (name == "varint") return CodecKind::kVarint;
+  if (name == "rle") return CodecKind::kRle;
+  throw FormatError("unknown codec: " + name);
+}
+
+void print_points(const ReadResult& result) {
+  for (std::size_t i = 0; i < result.values.size(); ++i) {
+    const auto p = result.coords.point(i);
+    for (index_t c : p) {
+      std::printf("%llu\t", static_cast<unsigned long long>(c));
+    }
+    std::printf("%.17g\n", result.values[i]);
+  }
+}
+
+int cmd_generate(const Args& args) {
+  const Shape shape = parse_shape(args.get("shape"));
+  const PatternKind pattern = parse_pattern(args.get("pattern", "gsp"));
+  const double density = std::stod(args.get("density", "0.01"));
+  const std::uint64_t seed = std::stoull(args.get("seed", "42"));
+  const std::string dir = args.get("store");
+  detail::require(!dir.empty(), "--store is required");
+
+  const SparseDataset dataset =
+      make_dataset(shape, spec_for(pattern, shape, density), seed);
+  const CodecKind codec = codec_for(args.get("codec"));
+
+  if (args.has("tile")) {
+    const TileGrid grid(shape, parse_shape(args.get("tile")));
+    const TilePolicy policy =
+        args.has("org") ? TilePolicy::fixed(parse_org(args.get("org")))
+                        : TilePolicy::advisor();
+    TiledStore store(dir, grid, policy, DeviceModel::unthrottled(), codec);
+    const TiledWriteResult written =
+        store.write(dataset.coords, dataset.values);
+    std::printf("generated %zu points (%s, density %.4f%%) into %zu tile "
+                "fragments, %zu bytes\n",
+                dataset.point_count(), to_string(pattern).c_str(),
+                dataset.density() * 100.0, written.tiles_written,
+                written.file_bytes);
+  } else {
+    const OrgKind org = parse_org(args.get("org", "gcsr"));
+    FragmentStore store(dir, shape, DeviceModel::unthrottled(), codec);
+    const WriteResult written =
+        store.write(dataset.coords, dataset.values, org);
+    std::printf("generated %zu points (%s, density %.4f%%) as %s, %zu "
+                "bytes in %.4fs\n",
+                dataset.point_count(), to_string(pattern).c_str(),
+                dataset.density() * 100.0, to_string(org).c_str(),
+                written.file_bytes, written.times.total());
+  }
+  return 0;
+}
+
+int cmd_import(const Args& args) {
+  const std::string dir = args.get("store");
+  const std::string tsv = args.get("tsv");
+  detail::require(!dir.empty() && !tsv.empty(),
+                  "--store and --tsv are required");
+  const Shape shape = parse_shape(args.get("shape"));
+  const OrgKind org = parse_org(args.get("org", "gcsr"));
+
+  const auto [coords, values] = read_tsv(tsv);
+  FragmentStore store(dir, shape);
+  const WriteResult written = store.write(coords, values, org);
+  std::printf("imported %zu points as %s, %zu bytes\n", coords.size(),
+              to_string(org).c_str(), written.file_bytes);
+  return 0;
+}
+
+int cmd_read(const Args& args, bool scan) {
+  const std::string dir = args.get("store");
+  detail::require(!dir.empty(), "--store is required");
+  const Shape shape = store_shape(dir);
+  FragmentStore store(dir, shape);
+  const Box region = args.has("region") ? parse_region(args.get("region"))
+                                        : Box::whole(shape);
+  const ReadResult result =
+      scan ? store.scan_region(region) : store.read_region(region);
+  std::printf("%s %s: %zu points from %zu fragments in %.4fs "
+              "(discover %.4f, extract %.4f, query %.4f, merge %.4f)\n",
+              scan ? "scan" : "read", region.to_string().c_str(),
+              result.values.size(), result.fragments_visited,
+              result.times.total(), result.times.discover,
+              result.times.extract, result.times.query, result.times.merge);
+  if (args.has("print")) print_points(result);
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const std::string dir = args.get("store");
+  detail::require(!dir.empty(), "--store is required");
+  const Shape shape = store_shape(dir);
+  FragmentStore store(dir, shape);
+  std::printf("store %s\n  tensor shape: %s\n  fragments: %zu\n"
+              "  total bytes: %zu\n",
+              dir.c_str(), shape.to_string().c_str(),
+              store.fragment_count(), store.total_file_bytes());
+  // Per-fragment detail from the headers.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".asf") {
+      continue;
+    }
+    const FragmentInfo info =
+        decode_fragment_info(read_file(entry.path().string()));
+    std::printf("  %s: %s, %llu points, bbox %s, codec %s\n",
+                entry.path().filename().string().c_str(),
+                to_string(info.org).c_str(),
+                static_cast<unsigned long long>(info.point_count),
+                info.bbox.empty() ? "(empty)" : info.bbox.to_string().c_str(),
+                to_string(info.codec).c_str());
+  }
+  return 0;
+}
+
+int cmd_advise(const Args& args) {
+  const std::string dir = args.get("store");
+  detail::require(!dir.empty(), "--store is required");
+  const Shape shape = store_shape(dir);
+  FragmentStore store(dir, shape);
+  const ReadResult all = store.scan_region(Box::whole(shape));
+  detail::require(!all.values.empty(), "store holds no points");
+
+  const SparsityProfile profile = profile_sparsity(all.coords, shape);
+  const WorkloadWeights weights = parse_weights(args.get("weights"));
+  const Recommendation rec = recommend_organization(
+      profile, weights, std::stod(args.get("queries-per-write", "1.0")));
+
+  std::printf("%s\n", profile.to_string().c_str());
+  for (const CostEstimate& e : rec.ranking) {
+    std::printf("  %-10s score %.3f — %s\n", to_string(e.org).c_str(),
+                e.weighted_score, e.rationale.c_str());
+  }
+  std::printf("recommended: %s\n", to_string(rec.best().org).c_str());
+  return 0;
+}
+
+int cmd_consolidate(const Args& args) {
+  const std::string dir = args.get("store");
+  detail::require(!dir.empty(), "--store is required");
+  const Shape shape = store_shape(dir);
+  FragmentStore store(dir, shape);
+  const std::size_t before = store.fragment_count();
+  std::optional<OrgKind> org;
+  if (args.has("org")) org = parse_org(args.get("org"));
+  const WriteResult merged = store.consolidate(org);
+  std::printf("consolidated %zu fragments into 1 (%zu points, %zu bytes, "
+              "org from fragment header)\n",
+              before, merged.point_count, merged.file_bytes);
+  return 0;
+}
+
+int cmd_export(const Args& args) {
+  const std::string dir = args.get("store");
+  const std::string tsv = args.get("tsv");
+  detail::require(!dir.empty() && !tsv.empty(),
+                  "--store and --tsv are required");
+  const Shape shape = store_shape(dir);
+  FragmentStore store(dir, shape);
+  const ReadResult all = store.scan_region(Box::whole(shape));
+  write_tsv(tsv, all.coords, all.values);
+  std::printf("exported %zu points to %s\n", all.values.size(), tsv.c_str());
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.command == "generate") return cmd_generate(args);
+  if (args.command == "import") return cmd_import(args);
+  if (args.command == "read") return cmd_read(args, false);
+  if (args.command == "scan") return cmd_read(args, true);
+  if (args.command == "info") return cmd_info(args);
+  if (args.command == "advise") return cmd_advise(args);
+  if (args.command == "consolidate") return cmd_consolidate(args);
+  if (args.command == "export") return cmd_export(args);
+  return usage();
+}
+
+}  // namespace
+}  // namespace artsparse::cli
+
+int main(int argc, char** argv) {
+  try {
+    return artsparse::cli::run(argc, argv);
+  } catch (const artsparse::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
