@@ -28,11 +28,13 @@ inline std::vector<Measurement> run_paper_grid(ScaleKind scale) {
                   [](const Measurement& m) {
                     std::fprintf(stderr,
                                  "  [%s %s] write %.4fs read %.4fs "
-                                 "file %zu B%s\n",
+                                 "file %zu B cache %zu/%zu%s\n",
                                  m.workload.c_str(),
                                  to_string(m.org).c_str(),
                                  m.write_times.total(),
                                  m.read_times.total(), m.file_bytes,
+                                 m.read_times.cache_hits,
+                                 m.read_times.cache_misses,
                                  m.verified ? "" : "  **VERIFY FAILED**");
                   });
 }

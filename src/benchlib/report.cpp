@@ -200,4 +200,21 @@ std::string format_fixed(double value, int decimals) {
   return buf;
 }
 
+std::string format_cache_stats(const CacheStats& stats) {
+  const std::size_t lookups = stats.hits + stats.misses;
+  const double hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(stats.hits) /
+                         static_cast<double>(lookups);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "cache: %zu hits / %zu misses (%s hit rate), %zu evictions, "
+                "%zu open (%s of %s)",
+                stats.hits, stats.misses, format_percent(hit_rate).c_str(),
+                stats.evictions, stats.open_count,
+                format_bytes(stats.open_bytes).c_str(),
+                format_bytes(stats.budget_bytes).c_str());
+  return buf;
+}
+
 }  // namespace artsparse

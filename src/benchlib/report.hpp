@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "storage/fragment_cache.hpp"
+
 namespace artsparse {
 
 /// Column-aligned ASCII table builder.
@@ -50,5 +52,10 @@ std::string format_percent(double fraction);
 
 /// Fixed-decimal double ("0.34").
 std::string format_fixed(double value, int decimals);
+
+/// One-line open-fragment cache summary, e.g.
+/// "cache: 12 hits / 4 misses (75.00% hit rate), 1 evictions, 4 open
+/// (1.25 MiB of 256.00 MiB)".
+std::string format_cache_stats(const CacheStats& stats);
 
 }  // namespace artsparse

@@ -18,11 +18,11 @@ unsigned worker_count() {
 
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& fn,
-                  unsigned threads) {
+                  unsigned threads, std::size_t grain) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
   if (threads == 0) threads = worker_count();
-  if (threads <= 1 || n < kParallelGrain) {
+  if (threads <= 1 || n < grain || n < 2) {
     fn(begin, end);
     return;
   }

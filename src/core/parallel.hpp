@@ -25,10 +25,28 @@ unsigned worker_count();
 /// Runs fn(begin, end) over disjoint chunks of [begin, end) across
 /// `threads` workers (0 = worker_count()). Blocks until every chunk is
 /// done. Exceptions from workers are rethrown on the caller (first one
-/// wins).
+/// wins). `grain` is the element count below which the loop runs inline;
+/// callers whose per-element work is heavy (e.g. one fragment decode per
+/// element) pass a small grain to parallelize even tiny counts.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& fn,
-                  unsigned threads = 0);
+                  unsigned threads = 0, std::size_t grain = kParallelGrain);
+
+/// Per-item fan-out: fn(i) for each i in [0, n), chunked across workers so
+/// callers stop hand-rolling [lo, hi) index math. Same determinism contract
+/// as parallel_for: each item must write only its own output slot(s).
+template <typename Fn>
+void parallel_for_each(std::size_t n, Fn&& fn, unsigned threads = 0,
+                       std::size_t grain = kParallelGrain) {
+  parallel_for(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          fn(i);
+        }
+      },
+      threads, grain);
+}
 
 /// Element-wise transform: out[i] = fn(i) for i in [0, n). `out` must
 /// already be sized to n.

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstddef>
 #include <string>
 
 namespace artsparse {
@@ -34,12 +35,16 @@ struct WriteBreakdown {
   double total() const { return build + reorg + write + others; }
 };
 
-/// Per-phase read timing for Algorithm 3's READ function.
+/// Per-phase read timing for Algorithm 3's READ function, plus the
+/// open-fragment cache accounting for the fragments the read touched.
 struct ReadBreakdown {
   double discover = 0.0;  ///< find fragments overlapping the query
   double extract = 0.0;   ///< read fragment payloads, decode the index
   double query = 0.0;     ///< organization-specific existence search
   double merge = 0.0;     ///< sort results by linear address + populate
+
+  std::size_t cache_hits = 0;    ///< fragments served from FragmentCache
+  std::size_t cache_misses = 0;  ///< fragments loaded from disk
 
   double total() const { return discover + extract + query + merge; }
 };

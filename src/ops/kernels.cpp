@@ -1,8 +1,10 @@
 #include "ops/kernels.hpp"
 
 #include <map>
+#include <utility>
 
 #include "core/linearize.hpp"
+#include "core/parallel.hpp"
 
 namespace artsparse {
 
@@ -85,17 +87,20 @@ std::pair<CoordBuffer, std::vector<value_t>> ttv(
         value * v[static_cast<std::size_t>(p[mode])];
   });
 
-  CoordBuffer coords(d - 1);
-  std::vector<value_t> values;
-  coords.reserve(accumulated.size());
-  values.reserve(accumulated.size());
-  std::vector<index_t> point(d - 1);
-  for (const auto& [address, value] : accumulated) {
-    delinearize(address, reduced, point);
-    coords.append(point);
-    values.push_back(value);
-  }
-  return {std::move(coords), std::move(values)};
+  // Materialize in ascending reduced-address order; each item writes only
+  // its own output slots, so the fan-out stays bit-identical to the
+  // sequential loop.
+  const std::vector<std::pair<index_t, value_t>> ordered(accumulated.begin(),
+                                                         accumulated.end());
+  const std::size_t rank = d - 1;
+  std::vector<index_t> flat(ordered.size() * rank);
+  std::vector<value_t> values(ordered.size());
+  parallel_for_each(ordered.size(), [&](std::size_t i) {
+    delinearize(ordered[i].first, reduced,
+                std::span<index_t>(flat.data() + i * rank, rank));
+    values[i] = ordered[i].second;
+  });
+  return {CoordBuffer(rank, std::move(flat)), std::move(values)};
 }
 
 value_t norm_squared(const SparseTensor& X) {

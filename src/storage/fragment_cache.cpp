@@ -1,0 +1,138 @@
+#include "storage/fragment_cache.hpp"
+
+#include <cstdlib>
+
+#include "core/timer.hpp"
+#include "formats/registry.hpp"
+#include "storage/fragment.hpp"
+#include "storage/serializer.hpp"
+
+namespace artsparse {
+
+std::shared_ptr<const OpenFragment> load_open_fragment(
+    const std::string& path, const DeviceModel& model) {
+  Bytes raw;
+  {
+    auto device = open_for_read(path, model);
+    raw = device->read_at(0, device->size());
+  }
+  Fragment fragment = decode_fragment(raw);
+
+  auto open = std::make_shared<OpenFragment>();
+  open->org = fragment.org;
+  open->shape = fragment.shape;
+  open->bbox = fragment.bbox;
+  open->point_count = fragment.point_count;
+  open->file_bytes = raw.size();
+  open->format = make_format(fragment.org);
+  {
+    BufferReader reader(fragment.index);
+    open->format->load(reader);
+  }
+  open->values = std::move(fragment.values);
+  // Budget accounting: the two payloads that dominate the resident size.
+  // The decoded in-memory index is approximated by its serialized size.
+  open->memory_bytes = open->values.size() * sizeof(value_t) +
+                       fragment.index.size() + sizeof(OpenFragment);
+  return open;
+}
+
+std::size_t FragmentCache::budget_from_env() {
+  if (const char* env = std::getenv("ARTSPARSE_CACHE_BYTES")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env) return static_cast<std::size_t>(parsed);
+  }
+  return kDefaultBudgetBytes;
+}
+
+FragmentCache::FragmentCache(std::size_t budget_bytes)
+    : budget_bytes_(budget_bytes) {}
+
+FragmentCache::Lookup FragmentCache::get(const std::string& path,
+                                         const DeviceModel& model) {
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = index_.find(path);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      return Lookup{it->second->second, true, 0.0};
+    }
+  }
+
+  // Load outside the lock so concurrent misses overlap their I/O.
+  WallTimer timer;
+  std::shared_ptr<const OpenFragment> fragment =
+      load_open_fragment(path, model);
+  const double load_seconds = timer.seconds();
+
+  const std::scoped_lock lock(mutex_);
+  ++misses_;
+  if (budget_bytes_ == 0) {
+    return Lookup{std::move(fragment), false, load_seconds};
+  }
+  const auto it = index_.find(path);
+  if (it != index_.end()) {
+    // Another thread inserted while we loaded; adopt its copy.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return Lookup{it->second->second, false, load_seconds};
+  }
+  insert_locked(path, fragment);
+  return Lookup{std::move(fragment), false, load_seconds};
+}
+
+void FragmentCache::insert_locked(
+    const std::string& path, std::shared_ptr<const OpenFragment> fragment) {
+  open_bytes_ += fragment->memory_bytes;
+  lru_.emplace_front(path, std::move(fragment));
+  index_[path] = lru_.begin();
+  while (open_bytes_ > budget_bytes_ && lru_.size() > 1) {
+    const auto& [victim_path, victim] = lru_.back();
+    open_bytes_ -= victim->memory_bytes;
+    index_.erase(victim_path);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void FragmentCache::invalidate(const std::string& path) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = index_.find(path);
+  if (it == index_.end()) return;
+  open_bytes_ -= it->second->second->memory_bytes;
+  lru_.erase(it->second);
+  index_.erase(it);
+  ++invalidations_;
+}
+
+void FragmentCache::invalidate_all() {
+  const std::scoped_lock lock(mutex_);
+  invalidations_ += lru_.size();
+  lru_.clear();
+  index_.clear();
+  open_bytes_ = 0;
+}
+
+CacheStats FragmentCache::stats() const {
+  const std::scoped_lock lock(mutex_);
+  CacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.invalidations = invalidations_;
+  stats.open_count = lru_.size();
+  stats.open_bytes = open_bytes_;
+  stats.budget_bytes = budget_bytes_;
+  return stats;
+}
+
+void FragmentCache::reset_stats() {
+  const std::scoped_lock lock(mutex_);
+  hits_ = 0;
+  misses_ = 0;
+  evictions_ = 0;
+  invalidations_ = 0;
+}
+
+}  // namespace artsparse

@@ -3,22 +3,47 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <utility>
 
 #include "advisor/advisor.hpp"
 #include "core/error.hpp"
 #include "core/linearize.hpp"
+#include "core/parallel.hpp"
 #include "core/sort.hpp"
 #include "formats/registry.hpp"
 #include "storage/fragment.hpp"
 
 namespace artsparse {
 
+namespace {
+
+/// Fan-out grain: one element is one whole fragment (disk read + decode +
+/// search), so parallelize from two fragments up.
+constexpr std::size_t kFragmentGrain = 2;
+
+}  // namespace
+
+/// Per-fragment partial result, produced independently by one fan-out
+/// worker and merged on the caller in hit order (= fragment write order),
+/// which keeps results byte-identical to the sequential loop they replaced.
+struct FragmentStore::Partial {
+  std::vector<std::size_t> found_query;  ///< read(): query index per hit
+  CoordBuffer found_coords;              ///< scan paths: hit coordinates
+  std::vector<value_t> found_values;
+  double extract = 0.0;  ///< fragment load + decode (0 on a cache hit)
+  double query = 0.0;    ///< organization-specific search
+  bool cache_hit = false;
+};
+
 FragmentStore::FragmentStore(std::filesystem::path directory, Shape shape,
-                             DeviceModel model, CodecKind codec)
+                             DeviceModel model, CodecKind codec,
+                             std::shared_ptr<FragmentCache> cache)
     : directory_(std::move(directory)),
       shape_(std::move(shape)),
       model_(model),
-      codec_(codec) {
+      codec_(codec),
+      cache_(cache ? std::move(cache)
+                   : std::make_shared<FragmentCache>()) {
   std::error_code ec;
   std::filesystem::create_directories(directory_, ec);
   if (ec) {
@@ -85,6 +110,10 @@ WriteResult FragmentStore::write(const CoordBuffer& coords,
   const std::filesystem::path path = next_fragment_path();
   result.times.others = timer.seconds();
 
+  // A recycled fragment name (clear() resets the id counter) must never be
+  // served from cache with the old bytes.
+  cache_->invalidate(path.string());
+
   // Write the fragment to the (possibly throttled) device (line 7).
   timer.reset();
   {
@@ -121,18 +150,23 @@ std::vector<const FragmentStore::Entry*> FragmentStore::discover(
     }
     return hits;
   }
-  if (rtree_dirty_) {
-    // Empty-bbox fragments (zero points) can never overlap; give them a
-    // degenerate placeholder the tree accepts, then filter on visit.
-    std::vector<Box> boxes;
-    boxes.reserve(fragments_.size());
-    const Box placeholder(std::vector<index_t>(shape_.rank(), 0),
-                          std::vector<index_t>(shape_.rank(), 0));
-    for (const Entry& entry : fragments_) {
-      boxes.push_back(entry.bbox.empty() ? placeholder : entry.bbox);
+  {
+    // Serialize the lazy rebuild; after it, the tree is immutable until the
+    // next write, so concurrent visits below are read-only and safe.
+    const std::scoped_lock lock(rtree_mutex_);
+    if (rtree_dirty_) {
+      // Empty-bbox fragments (zero points) can never overlap; give them a
+      // degenerate placeholder the tree accepts, then filter on visit.
+      std::vector<Box> boxes;
+      boxes.reserve(fragments_.size());
+      const Box placeholder(std::vector<index_t>(shape_.rank(), 0),
+                            std::vector<index_t>(shape_.rank(), 0));
+      for (const Entry& entry : fragments_) {
+        boxes.push_back(entry.bbox.empty() ? placeholder : entry.bbox);
+      }
+      rtree_ = RTree::bulk_load(boxes);
+      rtree_dirty_ = false;
     }
-    rtree_ = RTree::bulk_load(boxes);
-    rtree_dirty_ = false;
   }
   rtree_.visit(box, [&](std::size_t id) {
     const Entry& entry = fragments_[id];
@@ -161,53 +195,66 @@ ReadResult FragmentStore::read(const CoordBuffer& queries) const {
   result.times.discover = timer.seconds();
   result.fragments_visited = hits.size();
 
-  // Per fragment: extract the index, search, collect <coor, value> (lines
-  // 6-11).
-  std::vector<std::size_t> found_query;   // query index of each hit
-  std::vector<value_t> found_value;
-  for (const Entry* entry : hits) {
-    timer.reset();
-    Bytes raw;
-    {
-      auto device = open_for_read(entry->path.string(), model_);
-      raw = device->read_at(0, device->size());
-    }
-    const Fragment fragment = decode_fragment(raw);
-    auto format = make_format(fragment.org);
-    {
-      BufferReader reader(fragment.index);
-      format->load(reader);
-    }
-    result.times.extract += timer.seconds();
+  // Per fragment: resolve through the cache, search, collect <query, value>
+  // (lines 6-11) — one independent worker per fragment.
+  std::vector<Partial> partials(hits.size());
+  parallel_for_each(
+      hits.size(),
+      [&](std::size_t i) {
+        Partial& partial = partials[i];
+        const FragmentCache::Lookup lookup =
+            cache_->get(hits[i]->path.string(), model_);
+        partial.extract = lookup.load_seconds;
+        partial.cache_hit = lookup.hit;
 
-    // Organization-specific existence search (line 9).
-    timer.reset();
-    const std::vector<std::size_t> slots = format->read(queries);
-    for (std::size_t q = 0; q < slots.size(); ++q) {
-      if (slots[q] != kNotFound) {
-        detail::require(slots[q] < fragment.values.size(),
-                        "format returned slot beyond value buffer");
-        found_query.push_back(q);
-        found_value.push_back(fragment.values[slots[q]]);
-      }
-    }
-    result.times.query += timer.seconds();
+        // Organization-specific existence search (line 9).
+        WallTimer search_timer;
+        const OpenFragment& fragment = *lookup.fragment;
+        const std::vector<std::size_t> slots =
+            fragment.format->read(queries);
+        for (std::size_t q = 0; q < slots.size(); ++q) {
+          if (slots[q] != kNotFound) {
+            detail::require(slots[q] < fragment.values.size(),
+                            "format returned slot beyond value buffer");
+            partial.found_query.push_back(q);
+            partial.found_values.push_back(fragment.values[slots[q]]);
+          }
+        }
+        partial.query = search_timer.seconds();
+      },
+      0, kFragmentGrain);
+
+  // Merge partials in hit order — identical to the sequential loop's
+  // concatenation order — then sort by linear address (lines 12-13).
+  std::vector<std::size_t> found_query;
+  std::vector<value_t> found_value;
+  for (const Partial& partial : partials) {
+    result.times.extract += partial.extract;
+    result.times.query += partial.query;
+    ++(partial.cache_hit ? result.times.cache_hits
+                         : result.times.cache_misses);
+    found_query.insert(found_query.end(), partial.found_query.begin(),
+                       partial.found_query.end());
+    found_value.insert(found_value.end(), partial.found_values.begin(),
+                       partial.found_values.end());
   }
 
-  // Sort L by linear address and populate the output buffer (lines 12-13).
   timer.reset();
   std::vector<index_t> addresses(found_query.size());
-  for (std::size_t i = 0; i < found_query.size(); ++i) {
+  parallel_for_each(found_query.size(), [&](std::size_t i) {
     addresses[i] = linearize(queries.point(found_query[i]), shape_);
-  }
+  });
   const std::vector<std::size_t> order = sort_permutation(addresses);
-  result.coords = CoordBuffer(shape_.rank());
-  result.coords.reserve(order.size());
-  result.values.reserve(order.size());
-  for (std::size_t rank : order) {
-    result.coords.append(queries.point(found_query[rank]));
-    result.values.push_back(found_value[rank]);
-  }
+  const std::size_t rank = shape_.rank();
+  std::vector<index_t> flat(order.size() * rank);
+  std::vector<value_t> values(order.size());
+  parallel_for_each(order.size(), [&](std::size_t i) {
+    const auto point = queries.point(found_query[order[i]]);
+    std::copy(point.begin(), point.end(), flat.begin() + i * rank);
+    values[i] = found_value[order[i]];
+  });
+  result.coords = CoordBuffer(rank, std::move(flat));
+  result.values = std::move(values);
   result.times.merge = timer.seconds();
   return result;
 }
@@ -240,95 +287,117 @@ ReadResult FragmentStore::scan_region_where(const Box& region,
   result.times.discover = timer.seconds();
   result.fragments_visited = hits.size();
 
+  // Native box scan per fragment, fanned out like read().
+  std::vector<Partial> partials(hits.size());
+  parallel_for_each(
+      hits.size(),
+      [&](std::size_t i) {
+        Partial& partial = partials[i];
+        partial.found_coords = CoordBuffer(shape_.rank());
+        const FragmentCache::Lookup lookup =
+            cache_->get(hits[i]->path.string(), model_);
+        partial.extract = lookup.load_seconds;
+        partial.cache_hit = lookup.hit;
+
+        WallTimer scan_timer;
+        const OpenFragment& fragment = *lookup.fragment;
+        std::vector<std::size_t> slots;
+        CoordBuffer scanned(shape_.rank());
+        fragment.format->scan_box(region, scanned, slots);
+        detail::require(scanned.size() == slots.size(),
+                        "scan_box points/slots length mismatch");
+        for (std::size_t k = 0; k < slots.size(); ++k) {
+          detail::require(slots[k] < fragment.values.size(),
+                          "format returned slot beyond value buffer");
+          const value_t value = fragment.values[slots[k]];
+          if (range.matches(value)) {
+            partial.found_coords.append(scanned.point(k));
+            partial.found_values.push_back(value);
+          }
+        }
+        partial.query = scan_timer.seconds();
+      },
+      0, kFragmentGrain);
+
   CoordBuffer found(shape_.rank());
   std::vector<value_t> values;
-  for (const Entry* entry : hits) {
-    timer.reset();
-    Bytes raw;
-    {
-      auto device = open_for_read(entry->path.string(), model_);
-      raw = device->read_at(0, device->size());
+  for (const Partial& partial : partials) {
+    result.times.extract += partial.extract;
+    result.times.query += partial.query;
+    ++(partial.cache_hit ? result.times.cache_hits
+                         : result.times.cache_misses);
+    for (std::size_t k = 0; k < partial.found_coords.size(); ++k) {
+      found.append(partial.found_coords.point(k));
     }
-    const Fragment fragment = decode_fragment(raw);
-    auto format = make_format(fragment.org);
-    {
-      BufferReader reader(fragment.index);
-      format->load(reader);
-    }
-    result.times.extract += timer.seconds();
-
-    timer.reset();
-    std::vector<std::size_t> slots;
-    CoordBuffer scanned(shape_.rank());
-    format->scan_box(region, scanned, slots);
-    detail::require(scanned.size() == slots.size(),
-                    "scan_box points/slots length mismatch");
-    for (std::size_t k = 0; k < slots.size(); ++k) {
-      detail::require(slots[k] < fragment.values.size(),
-                      "format returned slot beyond value buffer");
-      const value_t value = fragment.values[slots[k]];
-      if (range.matches(value)) {
-        found.append(scanned.point(k));
-        values.push_back(value);
-      }
-    }
-    result.times.query += timer.seconds();
+    values.insert(values.end(), partial.found_values.begin(),
+                  partial.found_values.end());
   }
 
   timer.reset();
   std::vector<index_t> addresses(found.size());
-  for (std::size_t i = 0; i < found.size(); ++i) {
+  parallel_for_each(found.size(), [&](std::size_t i) {
     addresses[i] = linearize(found.point(i), shape_);
-  }
+  });
   const std::vector<std::size_t> order = sort_permutation(addresses);
-  result.coords = CoordBuffer(shape_.rank());
-  result.coords.reserve(order.size());
-  result.values.reserve(order.size());
-  for (std::size_t rank : order) {
-    result.coords.append(found.point(rank));
-    result.values.push_back(values[rank]);
-  }
+  const std::size_t rank = shape_.rank();
+  std::vector<index_t> flat(order.size() * rank);
+  std::vector<value_t> sorted_values(order.size());
+  parallel_for_each(order.size(), [&](std::size_t i) {
+    const auto point = found.point(order[i]);
+    std::copy(point.begin(), point.end(), flat.begin() + i * rank);
+    sorted_values[i] = values[order[i]];
+  });
+  result.coords = CoordBuffer(rank, std::move(flat));
+  result.values = std::move(sorted_values);
   result.times.merge = timer.seconds();
   return result;
 }
 
 WriteResult FragmentStore::consolidate(std::optional<OrgKind> org) {
-  // Gather every stored cell, later fragments overriding earlier ones
-  // (fragments_ is in write order; rescan() sorts by filename, which names
-  // fragments in write order too).
-  std::map<index_t, value_t> cells;
+  // Scan every fragment in parallel (each resolves through the cache),
+  // then merge sequentially in write order so a cell written more than once
+  // keeps the *latest* value (fragments_ is in write order; rescan() sorts
+  // by filename, which names fragments in write order too).
   const Box whole = Box::whole(shape_);
-  for (const Entry& entry : fragments_) {
-    Bytes raw;
-    {
-      auto device = open_for_read(entry.path.string(), model_);
-      raw = device->read_at(0, device->size());
-    }
-    const Fragment fragment = decode_fragment(raw);
-    auto format = make_format(fragment.org);
-    {
-      BufferReader reader(fragment.index);
-      format->load(reader);
-    }
-    CoordBuffer points(shape_.rank());
-    std::vector<std::size_t> slots;
-    format->scan_box(whole, points, slots);
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      cells[linearize(points.point(i), shape_)] =
-          fragment.values[slots[i]];
+  std::vector<std::vector<std::pair<index_t, value_t>>> partials(
+      fragments_.size());
+  parallel_for_each(
+      fragments_.size(),
+      [&](std::size_t i) {
+        const FragmentCache::Lookup lookup =
+            cache_->get(fragments_[i].path.string(), model_);
+        const OpenFragment& fragment = *lookup.fragment;
+        CoordBuffer points(shape_.rank());
+        std::vector<std::size_t> slots;
+        fragment.format->scan_box(whole, points, slots);
+        auto& cells = partials[i];
+        cells.reserve(points.size());
+        for (std::size_t k = 0; k < points.size(); ++k) {
+          cells.emplace_back(linearize(points.point(k), shape_),
+                             fragment.values[slots[k]]);
+        }
+      },
+      0, kFragmentGrain);
+
+  std::map<index_t, value_t> cells;
+  for (const auto& partial : partials) {
+    for (const auto& [address, value] : partial) {
+      cells[address] = value;  // later fragments override: latest wins
     }
   }
 
-  CoordBuffer coords(shape_.rank());
-  std::vector<value_t> values;
-  coords.reserve(cells.size());
-  values.reserve(cells.size());
-  std::vector<index_t> point(shape_.rank());
-  for (const auto& [address, value] : cells) {
-    delinearize(address, shape_, point);
-    coords.append(point);
-    values.push_back(value);
-  }
+  // Materialize the merged cells (ascending address order).
+  std::vector<std::pair<index_t, value_t>> ordered(cells.begin(),
+                                                   cells.end());
+  const std::size_t rank = shape_.rank();
+  std::vector<index_t> flat(ordered.size() * rank);
+  std::vector<value_t> values(ordered.size());
+  parallel_for_each(ordered.size(), [&](std::size_t i) {
+    delinearize(ordered[i].first, shape_,
+                std::span<index_t>(flat.data() + i * rank, rank));
+    values[i] = ordered[i].second;
+  });
+  CoordBuffer coords(rank, std::move(flat));
 
   OrgKind chosen;
   if (org.has_value()) {
@@ -347,6 +416,7 @@ WriteResult FragmentStore::consolidate(std::optional<OrgKind> org) {
 }
 
 void FragmentStore::rescan() {
+  cache_->invalidate_all();
   fragments_.clear();
   rtree_dirty_ = true;
   next_id_ = 0;
@@ -375,6 +445,7 @@ void FragmentStore::rescan() {
 }
 
 void FragmentStore::clear() {
+  cache_->invalidate_all();
   for (const Entry& entry : fragments_) {
     std::error_code ec;
     std::filesystem::remove(entry.path, ec);

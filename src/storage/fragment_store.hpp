@@ -11,6 +11,8 @@
 
 #include <filesystem>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,6 +23,7 @@
 #include "core/timer.hpp"
 #include "core/types.hpp"
 #include "storage/compress/codec.hpp"
+#include "storage/fragment_cache.hpp"
 #include "storage/rtree.hpp"
 #include "storage/throttle.hpp"
 
@@ -63,13 +66,24 @@ struct ValueRange {
 };
 
 /// Directory-backed fragment store for one sparse tensor.
+///
+/// Concurrency contract: any number of threads may run the read-side entry
+/// points (read/read_region/scan_region/scan_region_where) concurrently —
+/// fragment resolution goes through the thread-safe FragmentCache and the
+/// lazy R-tree rebuild is mutex-guarded. Mutating operations (write, clear,
+/// consolidate, rescan) require external synchronization against readers,
+/// as before.
 class FragmentStore {
  public:
   /// Creates/opens `directory` for a tensor of `shape`. Fragment traffic is
   /// throttled per `model`; index sections are compressed with `codec`.
+  /// Reads resolve fragments through `cache` (shared so several stores can
+  /// pool one budget); when null the store creates its own cache with the
+  /// ARTSPARSE_CACHE_BYTES / default budget.
   FragmentStore(std::filesystem::path directory, Shape shape,
                 DeviceModel model = DeviceModel::unthrottled(),
-                CodecKind codec = CodecKind::kIdentity);
+                CodecKind codec = CodecKind::kIdentity,
+                std::shared_ptr<FragmentCache> cache = nullptr);
 
   /// Algorithm 3 WRITE: builds `org`'s index over `coords`, reorganizes
   /// `values` by the build map, concatenates, and writes one fragment.
@@ -115,6 +129,9 @@ class FragmentStore {
   const Shape& tensor_shape() const { return shape_; }
   const std::filesystem::path& directory() const { return directory_; }
 
+  /// The open-fragment cache this store resolves reads through.
+  FragmentCache& cache() const { return *cache_; }
+
   /// Total bytes across all fragment files (Fig. 4's file-size metric).
   std::size_t total_file_bytes() const;
 
@@ -133,8 +150,12 @@ class FragmentStore {
   /// Fragments whose bounding box overlaps `box` (Algorithm 3 line 4).
   /// Linear scan for small stores; an STR R-tree over the fragment boxes
   /// (rebuilt lazily after appends) once the store passes
-  /// kRtreeThreshold fragments.
+  /// kRtreeThreshold fragments. Safe under concurrent reads: the lazy
+  /// rebuild is guarded by rtree_mutex_.
   std::vector<const Entry*> discover(const Box& box) const;
+
+  /// Per-hit partial result of the fan-out read paths, merged in hit order.
+  struct Partial;
 
   static constexpr std::size_t kRtreeThreshold = 32;
 
@@ -142,10 +163,13 @@ class FragmentStore {
   Shape shape_;
   DeviceModel model_;
   CodecKind codec_;
+  std::shared_ptr<FragmentCache> cache_;
   std::vector<Entry> fragments_;
   std::size_t next_id_ = 0;
   /// Lazily (re)built spatial index; mutable because discovery is
-  /// logically const. Not thread-safe across concurrent first reads.
+  /// logically const. rtree_mutex_ serializes the rebuild so concurrent
+  /// first reads are safe.
+  mutable std::mutex rtree_mutex_;
   mutable RTree rtree_;
   mutable bool rtree_dirty_ = true;
 };

@@ -5,10 +5,12 @@
 namespace artsparse {
 
 TiledStore::TiledStore(std::filesystem::path directory, TileGrid grid,
-                       TilePolicy policy, DeviceModel model, CodecKind codec)
+                       TilePolicy policy, DeviceModel model, CodecKind codec,
+                       std::shared_ptr<FragmentCache> cache)
     : grid_(std::move(grid)),
       policy_(policy),
-      store_(std::move(directory), grid_.tensor_shape(), model, codec) {}
+      store_(std::move(directory), grid_.tensor_shape(), model, codec,
+             std::move(cache)) {}
 
 TiledWriteResult TiledStore::write(const CoordBuffer& coords,
                                    std::span<const value_t> values) {
@@ -66,6 +68,11 @@ ReadResult TiledStore::scan_region(const Box& region) const {
 
 ReadResult TiledStore::read(const CoordBuffer& queries) const {
   return store_.read(queries);
+}
+
+ReadResult TiledStore::scan_region_where(const Box& region,
+                                         const ValueRange& range) const {
+  return store_.scan_region_where(region, range);
 }
 
 }  // namespace artsparse

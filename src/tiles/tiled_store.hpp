@@ -48,10 +48,14 @@ struct TiledWriteResult {
 
 class TiledStore {
  public:
+  /// `cache` as in FragmentStore: tiled reads resolve their per-tile
+  /// fragments through the same OpenFragment layer; pass a shared instance
+  /// to pool one byte budget across stores, or null for a private cache.
   TiledStore(std::filesystem::path directory, TileGrid grid,
              TilePolicy policy = TilePolicy::fixed(OrgKind::kGcsr),
              DeviceModel model = DeviceModel::unthrottled(),
-             CodecKind codec = CodecKind::kIdentity);
+             CodecKind codec = CodecKind::kIdentity,
+             std::shared_ptr<FragmentCache> cache = nullptr);
 
   /// Splits the batch by tile and writes one fragment per non-empty tile.
   TiledWriteResult write(const CoordBuffer& coords,
@@ -66,9 +70,17 @@ class TiledStore {
   /// Point-set read (Algorithm 3 READ semantics).
   ReadResult read(const CoordBuffer& queries) const;
 
+  /// Region read restricted to values inside `range` (predicate pushdown;
+  /// see FragmentStore::scan_region_where).
+  ReadResult scan_region_where(const Box& region,
+                               const ValueRange& range) const;
+
   const TileGrid& grid() const { return grid_; }
   std::size_t fragment_count() const { return store_.fragment_count(); }
   std::size_t total_file_bytes() const { return store_.total_file_bytes(); }
+
+  /// The open-fragment cache tiled reads resolve through.
+  FragmentCache& cache() const { return store_.cache(); }
 
  private:
   TileGrid grid_;

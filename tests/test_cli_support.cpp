@@ -62,6 +62,19 @@ TEST(CliParse, Org) {
   EXPECT_THROW(parse_org("btree"), FormatError);
 }
 
+TEST(CliParse, ByteSize) {
+  EXPECT_EQ(parse_byte_size("1048576"), 1048576u);
+  EXPECT_EQ(parse_byte_size("64K"), 64u << 10);
+  EXPECT_EQ(parse_byte_size("64k"), 64u << 10);
+  EXPECT_EQ(parse_byte_size("256MiB"), 256u << 20);
+  EXPECT_EQ(parse_byte_size("2M"), 2u << 20);
+  EXPECT_EQ(parse_byte_size("1G"), 1u << 30);
+  EXPECT_EQ(parse_byte_size("0"), 0u);
+  EXPECT_THROW(parse_byte_size(""), FormatError);
+  EXPECT_THROW(parse_byte_size("abc"), FormatError);
+  EXPECT_THROW(parse_byte_size("12Q"), FormatError);
+}
+
 TEST(CliParse, Weights) {
   EXPECT_GT(parse_weights("read").read, parse_weights("read").write);
   EXPECT_GT(parse_weights("archive").space, 1.0);

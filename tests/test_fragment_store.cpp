@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <thread>
+
 #include "core/linearize.hpp"
 #include "patterns/dataset.hpp"
 #include "test_support.hpp"
@@ -216,6 +219,94 @@ TEST_F(FragmentStoreTest, CompressedStoreRoundTrips) {
   store.write(coords, address_values(coords, shape), OrgKind::kLinear);
   const ReadResult result = store.read_region(Box({0, 0}, {9, 9}));
   EXPECT_EQ(result.values.size(), coords.size());
+}
+
+TEST_F(FragmentStoreTest, ParallelReadRegionMatchesSequentialBehavior) {
+  // The parallel fan-out must stay byte-identical to the seed's sequential
+  // per-fragment loop: same coordinates, same values, same order.
+  const Shape shape{64, 64};
+  FragmentStore store(dir_, shape);
+  for (index_t base : {index_t{0}, index_t{8}, index_t{4}}) {
+    // The third fragment overlaps the first two, so merge order matters.
+    CoordBuffer coords(2);
+    std::vector<value_t> values;
+    for (index_t r = base; r < base + 8; ++r) {
+      for (index_t c = base; c < base + 8; ++c) {
+        coords.append({r, c});
+        values.push_back(static_cast<value_t>(base + 1) * 1000.0 +
+                         static_cast<value_t>(linearize(
+                             std::vector<index_t>{r, c}, shape)));
+      }
+    }
+    store.write(coords, values, OrgKind::kGcsr);
+  }
+
+  const Box region({0, 0}, {15, 15});
+  // Sequential baseline: force a single worker via ARTSPARSE_THREADS.
+  ::setenv("ARTSPARSE_THREADS", "1", 1);
+  const ReadResult sequential = store.read_region(region);
+  ::unsetenv("ARTSPARSE_THREADS");
+  const ReadResult parallel = store.read_region(region);
+
+  ASSERT_EQ(parallel.values.size(), sequential.values.size());
+  EXPECT_TRUE(parallel.coords == sequential.coords);
+  EXPECT_EQ(parallel.values, sequential.values);
+
+  const ReadResult scan_seq = [&] {
+    ::setenv("ARTSPARSE_THREADS", "1", 1);
+    const ReadResult r = store.scan_region(region);
+    ::unsetenv("ARTSPARSE_THREADS");
+    return r;
+  }();
+  const ReadResult scan_par = store.scan_region(region);
+  EXPECT_TRUE(scan_par.coords == scan_seq.coords);
+  EXPECT_EQ(scan_par.values, scan_seq.values);
+}
+
+TEST_F(FragmentStoreTest, ConcurrentReadsAreSafeAndIdentical) {
+  // Exercises the whole concurrent read path: the mutex-guarded lazy
+  // R-tree rebuild (the store is pushed past kRtreeThreshold so the first
+  // reads race on it) and the thread-safe fragment cache.
+  const Shape shape{256, 256};
+  FragmentStore store(dir_, shape);
+  for (index_t f = 0; f < 40; ++f) {
+    CoordBuffer coords(2);
+    std::vector<value_t> values;
+    const index_t base = f * 6;
+    for (index_t r = base; r < base + 6 && r < 256; ++r) {
+      coords.append({r, (r * 7) % 256});
+      values.push_back(static_cast<value_t>(f * 1000 + r));
+    }
+    store.write(coords, values, f % 2 == 0 ? OrgKind::kGcsr
+                                           : OrgKind::kLinear);
+  }
+
+  const Box region({0, 0}, {255, 255});
+  const ReadResult expected = store.scan_region(region);
+  store.rescan();  // drop cache + R-tree so concurrent first reads race
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 4;
+  std::vector<ReadResult> results(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        results[t] = store.scan_region(region);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(results[t].coords == expected.coords) << "thread " << t;
+    EXPECT_EQ(results[t].values, expected.values) << "thread " << t;
+  }
+  // Every fragment was loaded at most a handful of times (concurrent
+  // first misses may race), then served from cache.
+  const CacheStats stats = store.cache().stats();
+  EXPECT_GE(stats.hits, stats.misses);
 }
 
 TEST_F(FragmentStoreTest, CompressionShrinksFragments) {

@@ -74,6 +74,26 @@ TEST(Parallel, WorkerExceptionPropagates) {
       FormatError);
 }
 
+TEST(Parallel, ForEachCoversEveryItemExactlyOnce) {
+  const std::size_t n = kParallelGrain * 2 + 9;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_each(n, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(Parallel, ForEachCustomGrainFansOutSmallCounts) {
+  // With grain 2, even a 4-item loop spreads across workers (the fragment
+  // fan-out case: few items, each expensive).
+  std::vector<std::atomic<int>> hits(4);
+  parallel_for_each(4, [&](std::size_t i) { hits[i].fetch_add(1); }, 4,
+                    /*grain=*/2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
 TEST(Parallel, TransformFillsOutput) {
   const std::size_t n = kParallelGrain + 5;
   std::vector<std::size_t> out(n);

@@ -140,5 +140,22 @@ TEST(Report, FormatFixed) {
   EXPECT_EQ(format_fixed(1.0 / 3.0, 4), "0.3333");
 }
 
+TEST(Report, FormatCacheStats) {
+  CacheStats stats;
+  stats.hits = 12;
+  stats.misses = 4;
+  stats.evictions = 1;
+  stats.open_count = 3;
+  stats.open_bytes = 1536;
+  stats.budget_bytes = 256u << 20;
+  EXPECT_EQ(format_cache_stats(stats),
+            "cache: 12 hits / 4 misses (75.00% hit rate), 1 evictions, "
+            "3 open (1.50 KiB of 256.00 MiB)");
+
+  EXPECT_EQ(format_cache_stats(CacheStats{}),
+            "cache: 0 hits / 0 misses (0.00% hit rate), 0 evictions, "
+            "0 open (0 B of 0 B)");
+}
+
 }  // namespace
 }  // namespace artsparse

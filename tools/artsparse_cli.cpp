@@ -5,7 +5,9 @@
 //   artsparse import   --store DIR --shape 512,512 --tsv points.tsv
 //                      --org linear
 //   artsparse read     --store DIR --region 10:20,30:40 [--print]
+//                      [--cache-bytes 64M]
 //   artsparse scan     --store DIR --region 10:20,30:40 [--print]
+//                      [--cache-bytes 64M]
 //   artsparse info     --store DIR
 //   artsparse advise   --store DIR [--weights balanced|read|archive]
 //   artsparse consolidate --store DIR [--org ORG]
@@ -27,7 +29,9 @@ int usage() {
       "            --store DIR [--org ORG] [--tile S] [--codec none|dv]\n"
       "  import    --store DIR --shape S --tsv FILE [--org ORG]\n"
       "  read      --store DIR --region lo:hi,... [--print]\n"
+      "            [--cache-bytes N[K|M|G]]\n"
       "  scan      --store DIR --region lo:hi,... [--print]\n"
+      "            [--cache-bytes N[K|M|G]]\n"
       "  info      --store DIR\n"
       "  advise    --store DIR [--weights balanced|read|archive]\n"
       "  consolidate --store DIR [--org ORG]\n"
@@ -130,7 +134,11 @@ int cmd_read(const Args& args, bool scan) {
   const std::string dir = args.get("store");
   detail::require(!dir.empty(), "--store is required");
   const Shape shape = store_shape(dir);
-  FragmentStore store(dir, shape);
+  auto cache = std::make_shared<FragmentCache>(
+      args.has("cache-bytes") ? parse_byte_size(args.get("cache-bytes"))
+                              : FragmentCache::budget_from_env());
+  FragmentStore store(dir, shape, DeviceModel::unthrottled(),
+                      CodecKind::kIdentity, cache);
   const Box region = args.has("region") ? parse_region(args.get("region"))
                                         : Box::whole(shape);
   const ReadResult result =
@@ -141,6 +149,7 @@ int cmd_read(const Args& args, bool scan) {
               result.values.size(), result.fragments_visited,
               result.times.total(), result.times.discover,
               result.times.extract, result.times.query, result.times.merge);
+  std::printf("%s\n", format_cache_stats(cache->stats()).c_str());
   if (args.has("print")) print_points(result);
   return 0;
 }

@@ -112,6 +112,32 @@ OrgKind parse_org(const std::string& text) {
                     " (coo|linear|gcsr|gcsc|csf|sortedcoo|bcsr)");
 }
 
+std::size_t parse_byte_size(const std::string& text) {
+  detail::require(!text.empty(), "empty byte size");
+  std::size_t pos = 0;
+  unsigned long long amount = 0;
+  try {
+    amount = std::stoull(text, &pos);
+  } catch (const std::exception&) {
+    throw FormatError("invalid byte size: " + text);
+  }
+  std::string suffix = lower(text.substr(pos));
+  if (!suffix.empty() && suffix.back() == 'b') suffix.pop_back();
+  if (!suffix.empty() && suffix.back() == 'i') suffix.pop_back();
+  std::size_t shift = 0;
+  if (suffix == "k") {
+    shift = 10;
+  } else if (suffix == "m") {
+    shift = 20;
+  } else if (suffix == "g") {
+    shift = 30;
+  } else if (!suffix.empty()) {
+    throw FormatError("invalid byte size suffix: " + text +
+                      " (use K, M, G, KiB, MiB, GiB)");
+  }
+  return static_cast<std::size_t>(amount) << shift;
+}
+
 WorkloadWeights parse_weights(const std::string& text) {
   const std::string name = lower(text);
   if (name == "balanced" || name.empty()) {

@@ -46,6 +46,10 @@ OrgKind parse_org(const std::string& text);
 /// "balanced" / "read" / "archive".
 WorkloadWeights parse_weights(const std::string& text);
 
+/// Byte count with an optional binary suffix: "1048576", "64K", "256MiB",
+/// "1G" (case-insensitive; K/M/G are KiB/MiB/GiB). Used by --cache-bytes.
+std::size_t parse_byte_size(const std::string& text);
+
 /// Tab-separated export: one line per point, d coordinates then the value.
 void write_tsv(const std::string& path, const CoordBuffer& coords,
                std::span<const value_t> values);
