@@ -1,0 +1,49 @@
+// Standalone replay driver: lets the fuzz targets build and run without
+// libFuzzer (e.g. under GCC), replaying every file — or every file inside a
+// directory — passed on the command line. libFuzzer-style option arguments
+// (leading '-') are ignored so the same invocation works for both builds.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int replay_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.string().c_str());
+    return 1;
+  }
+  std::vector<char> data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(data.data()),
+                         data.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') continue;  // libFuzzer option, not an input
+    const std::filesystem::path path(argv[i]);
+    if (std::filesystem::is_directory(path)) {
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (!entry.is_regular_file()) continue;
+        if (replay_file(entry.path()) != 0) return 2;
+        ++replayed;
+      }
+    } else {
+      if (replay_file(path) != 0) return 2;
+      ++replayed;
+    }
+  }
+  std::printf("replayed %d inputs\n", replayed);
+  return 0;
+}

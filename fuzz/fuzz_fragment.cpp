@@ -1,0 +1,40 @@
+// Fuzz target for the fragment decoder — the outermost untrusted surface:
+// bytes read from disk go straight into decode_fragment(). The contract
+// under fuzzing: arbitrary input either decodes or throws artsparse::Error.
+// Crashes, sanitizer reports, or foreign exceptions are findings.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "check/validate.hpp"
+#include "core/error.hpp"
+#include "formats/format.hpp"
+#include "formats/registry.hpp"
+#include "storage/fragment.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::byte> bytes(
+      reinterpret_cast<const std::byte*>(data), size);
+  try {
+    const artsparse::Fragment fragment = artsparse::decode_fragment(bytes);
+    // A fragment that decodes must also survive the read path and the deep
+    // validators without UB (they may *report* issues, never crash).
+    artsparse::check::Issues issues;
+    artsparse::check::check_fragment_bytes(
+        bytes, artsparse::check::Depth::kFull, issues);
+    auto format = artsparse::load_format(fragment.org, fragment.index);
+    if (fragment.shape.rank() > 0) {
+      const std::vector<artsparse::index_t> probe(fragment.shape.rank(), 0);
+      format->lookup(probe);
+    }
+  } catch (const artsparse::Error&) {
+    // Expected for malformed input.
+  }
+  try {
+    artsparse::decode_fragment_info(bytes);
+  } catch (const artsparse::Error&) {
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Regenerates the checked-in seed corpus under fuzz/corpus/: one valid
+// fragment per (organization, codec) pairing for fuzz_fragment, and one
+// org-byte-prefixed serialized index per organization for fuzz_format.
+// Valid inputs seed the fuzzers deep inside the parsers instead of leaving
+// them to rediscover the magic/CRC framing byte by byte.
+//
+//   make_seed_corpus <corpus_dir>     (writes fragment/ and format/ below)
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/box.hpp"
+#include "core/coords.hpp"
+#include "core/shape.hpp"
+#include "formats/format.hpp"
+#include "formats/registry.hpp"
+#include "storage/fragment.hpp"
+
+namespace {
+
+using namespace artsparse;
+
+/// The paper's Fig. 1 example: five points in a 3x3x3 tensor.
+CoordBuffer example_coords() {
+  CoordBuffer coords(3);
+  coords.append({0, 0, 0});
+  coords.append({0, 1, 2});
+  coords.append({1, 0, 1});
+  coords.append({2, 1, 0});
+  coords.append({2, 2, 2});
+  return coords;
+}
+
+void write_bytes(const std::filesystem::path& path, const Bytes& data) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+Bytes fragment_bytes(OrgKind org, CodecKind codec) {
+  const CoordBuffer coords = example_coords();
+  const Shape shape({3, 3, 3});
+  auto format = make_format(org);
+  format->build(coords, shape);
+  Fragment fragment;
+  fragment.org = org;
+  fragment.codec = codec;
+  fragment.shape = shape;
+  fragment.bbox = Box::bounding(coords);
+  fragment.point_count = coords.size();
+  fragment.index = serialize_format(*format);
+  fragment.values = {1.0, 2.0, 3.0, 4.0, 5.0};
+  return encode_fragment(fragment);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_seed_corpus <corpus_dir>\n");
+    return 2;
+  }
+  const std::filesystem::path root(argv[1]);
+  const auto fragment_dir = root / "fragment";
+  const auto format_dir = root / "format";
+  std::filesystem::create_directories(fragment_dir);
+  std::filesystem::create_directories(format_dir);
+
+  int written = 0;
+  for (OrgKind org : all_org_kinds()) {
+    const std::string name = to_string(org);
+    for (CodecKind codec : {CodecKind::kIdentity, CodecKind::kDeltaVarint,
+                            CodecKind::kRle}) {
+      write_bytes(fragment_dir /
+                      (name + "_" + to_string(codec) + ".asf"),
+                  fragment_bytes(org, codec));
+      ++written;
+    }
+    // fuzz_format convention: first byte selects the organization.
+    auto format = make_format(org);
+    format->build(example_coords(), Shape({3, 3, 3}));
+    Bytes seed{static_cast<std::byte>(org)};
+    const Bytes index = serialize_format(*format);
+    seed.insert(seed.end(), index.begin(), index.end());
+    write_bytes(format_dir / (name + ".bin"), seed);
+    ++written;
+  }
+  // An empty fragment exercises the zero-point paths.
+  Fragment empty;
+  empty.shape = Shape({3, 3, 3});
+  write_bytes(fragment_dir / "empty.asf", encode_fragment(empty));
+  ++written;
+
+  std::printf("wrote %d seeds under %s\n", written, root.string().c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "check/contracts.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace artsparse::check {
+
+namespace {
+
+/// -1 = no runtime override, 0 = forced off, 1 = forced on.
+std::atomic<int> paranoid_override{-1};
+
+bool env_or_compiled_default() {
+  if (const char* env = std::getenv("ARTSPARSE_PARANOID")) {
+    return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+             std::strcmp(env, "false") == 0 || env[0] == '\0');
+  }
+#ifdef ARTSPARSE_PARANOID_DEFAULT
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+void contract_failure(const char* expression, const char* message,
+                      const char* file, int line) {
+  throw FormatError(std::string("invariant violated: ") + message + " (" +
+                    expression + ") at " + file + ":" + std::to_string(line));
+}
+
+bool paranoid_enabled() {
+  const int forced = paranoid_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  // The environment is read once; later changes go through set_paranoid().
+  static const bool from_env = env_or_compiled_default();
+  return from_env;
+}
+
+void set_paranoid(std::optional<bool> enabled) {
+  paranoid_override.store(enabled.has_value() ? (*enabled ? 1 : 0) : -1,
+                          std::memory_order_relaxed);
+}
+
+}  // namespace artsparse::check

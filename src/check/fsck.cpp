@@ -1,0 +1,115 @@
+#include "check/fsck.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/error.hpp"
+#include "storage/file_io.hpp"
+
+namespace artsparse::check {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t StoreReport::failed() const {
+  std::size_t count = 0;
+  for (const FragmentReport& fragment : fragments) {
+    if (!fragment.ok()) ++count;
+  }
+  return count;
+}
+
+std::string StoreReport::to_json() const {
+  std::string out = "{\"directory\": \"" + json_escape(directory) +
+                    "\", \"depth\": \"" + check::to_string(depth) +
+                    "\", \"checked\": " + std::to_string(checked()) +
+                    ", \"failed\": " + std::to_string(failed()) +
+                    ", \"fragments\": [";
+  bool first_fragment = true;
+  for (const FragmentReport& fragment : fragments) {
+    if (!first_fragment) out += ", ";
+    first_fragment = false;
+    out += "{\"path\": \"" + json_escape(fragment.path) + "\", \"issues\": [";
+    bool first_issue = true;
+    for (const Issue& issue : fragment.issues.items()) {
+      if (!first_issue) out += ", ";
+      first_issue = false;
+      out += "{\"rule\": \"" + json_escape(issue.rule) + "\", \"detail\": \"" +
+             json_escape(issue.detail) + "\"}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+FragmentReport check_fragment_file(const std::filesystem::path& path,
+                                   Depth depth) {
+  FragmentReport report;
+  report.path = path.string();
+  Bytes data;
+  try {
+    data = read_file(path.string());
+  } catch (const Error& e) {
+    report.issues.add("fragment.io", e.what());
+    return report;
+  }
+  check_fragment_bytes(data, depth, report.issues);
+  return report;
+}
+
+StoreReport check_store(const std::filesystem::path& directory, Depth depth) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(directory, ec)) {
+    throw IoError("not a store directory: " + directory.string());
+  }
+  StoreReport report;
+  report.directory = directory.string();
+  report.depth = depth;
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(directory)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".asf") {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  report.fragments.reserve(paths.size());
+  for (const auto& path : paths) {
+    report.fragments.push_back(check_fragment_file(path, depth));
+  }
+  return report;
+}
+
+}  // namespace artsparse::check

@@ -1,0 +1,46 @@
+// Store-level fsck: walks a FragmentStore directory, validates every
+// fragment file at a chosen Depth, and reports per-fragment issues plus a
+// machine-readable summary. This is the engine of `artsparse check`.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/issues.hpp"
+#include "check/validate.hpp"
+
+namespace artsparse::check {
+
+/// Validation result for one fragment file.
+struct FragmentReport {
+  std::string path;  ///< file path, as walked
+  Issues issues;
+
+  bool ok() const { return issues.ok(); }
+};
+
+/// Validation result for a whole store directory.
+struct StoreReport {
+  std::string directory;
+  Depth depth = Depth::kStructure;
+  std::vector<FragmentReport> fragments;
+
+  std::size_t checked() const { return fragments.size(); }
+  std::size_t failed() const;
+  bool ok() const { return failed() == 0; }
+
+  /// One-object JSON summary ({"directory": ..., "fragments": [...]}).
+  std::string to_json() const;
+};
+
+/// Validates every *.asf file under `directory` (sorted by name) at
+/// `depth`. Unreadable files are reported as issues, not thrown. Throws
+/// IoError only when `directory` itself is not a readable directory.
+StoreReport check_store(const std::filesystem::path& directory, Depth depth);
+
+/// Validates a single fragment file.
+FragmentReport check_fragment_file(const std::filesystem::path& path,
+                                   Depth depth);
+
+}  // namespace artsparse::check

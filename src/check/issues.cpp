@@ -1,0 +1,27 @@
+#include "check/issues.hpp"
+
+#include "core/error.hpp"
+
+namespace artsparse::check {
+
+void Issues::add(std::string rule, std::string detail) {
+  items_.push_back(Issue{std::move(rule), std::move(detail)});
+}
+
+std::string Issues::summary() const {
+  std::string out;
+  for (const Issue& issue : items_) {
+    if (!out.empty()) out += "; ";
+    out += issue.rule;
+    out += ": ";
+    out += issue.detail;
+  }
+  return out;
+}
+
+void Issues::raise_if_failed(const std::string& context) const {
+  if (ok()) return;
+  throw FormatError(context + ": " + summary());
+}
+
+}  // namespace artsparse::check

@@ -1,0 +1,186 @@
+#include "check/validate.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/box.hpp"
+#include "core/coords.hpp"
+#include "core/error.hpp"
+#include "formats/format.hpp"
+#include "formats/registry.hpp"
+#include "storage/fragment.hpp"
+#include "storage/serializer.hpp"
+
+namespace artsparse::check {
+
+Depth depth_from_string(const std::string& name) {
+  if (name == "header") return Depth::kHeader;
+  if (name == "structure") return Depth::kStructure;
+  if (name == "full") return Depth::kFull;
+  throw FormatError("unknown check depth '" + name +
+                    "' (expected header, structure, or full)");
+}
+
+std::string to_string(Depth depth) {
+  switch (depth) {
+    case Depth::kHeader:
+      return "header";
+    case Depth::kStructure:
+      return "structure";
+    case Depth::kFull:
+      return "full";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// kHeader: checksum and self-consistent header fields.
+bool check_header(std::span<const std::byte> data, FragmentInfo& info,
+                  Issues& issues) {
+  if (data.size() <= sizeof(std::uint32_t)) {
+    issues.add("fragment.size", "file holds " + std::to_string(data.size()) +
+                                    " bytes, too small for a fragment");
+    return false;
+  }
+  const std::size_t body = data.size() - sizeof(std::uint32_t);
+  BufferReader crc_reader(data.subspan(body));
+  if (crc32(data.subspan(0, body)) != crc_reader.get_u32()) {
+    issues.add("fragment.checksum", "stored crc32 does not match contents");
+    return false;
+  }
+  try {
+    info = decode_fragment_info(data);
+  } catch (const Error& e) {
+    issues.add("fragment.header", e.what());
+    return false;
+  }
+  bool ok = true;
+  if (!info.bbox.empty()) {
+    if (info.bbox.rank() != info.shape.rank()) {
+      issues.add("fragment.bbox.rank",
+                 "bounding box rank " + std::to_string(info.bbox.rank()) +
+                     " != shape rank " + std::to_string(info.shape.rank()));
+      ok = false;
+    } else {
+      for (std::size_t dim = 0; dim < info.bbox.rank(); ++dim) {
+        if (info.bbox.hi(dim) >= info.shape.extent(dim)) {
+          issues.add("fragment.bbox.in_shape",
+                     "bounding box dim " + std::to_string(dim) +
+                         " reaches " + std::to_string(info.bbox.hi(dim)) +
+                         ", past extent " +
+                         std::to_string(info.shape.extent(dim)));
+          ok = false;
+          break;
+        }
+      }
+    }
+  }
+  // One value per stored point: the write path reorganizes values with the
+  // build map, which is a permutation of the points.
+  if (info.value_count != info.point_count) {
+    issues.add("fragment.counts",
+               "fragment stores " + std::to_string(info.value_count) +
+                   " values for " + std::to_string(info.point_count) +
+                   " points");
+    ok = false;
+  }
+  if (info.point_count > 0 && info.bbox.empty()) {
+    issues.add("fragment.bbox.missing",
+               "non-empty fragment has no bounding box");
+    ok = false;
+  }
+  return ok;
+}
+
+/// kFull: cross-checks between the decoded index, the header, and the
+/// values. O(n * d) — scans every stored point.
+void check_full(const Fragment& fragment, const SparseFormat& format,
+                Issues& issues) {
+  CoordBuffer points(std::max<std::size_t>(fragment.shape.rank(), 1));
+  std::vector<std::size_t> slots;
+  try {
+    format.scan_box(Box::whole(fragment.shape), points, slots);
+  } catch (const Error& e) {
+    issues.add("fragment.scan", e.what());
+    return;
+  }
+  if (points.size() != fragment.point_count) {
+    issues.add("fragment.scan.count",
+               "index enumerates " + std::to_string(points.size()) +
+                   " points but the header records " +
+                   std::to_string(fragment.point_count));
+    return;
+  }
+  // The slots must cover the value buffer exactly once — a broken build map
+  // (or a forged index) silently pairs points with the wrong values.
+  std::vector<bool> seen(fragment.values.size(), false);
+  for (std::size_t slot : slots) {
+    if (slot >= seen.size() || seen[slot]) {
+      issues.add("fragment.slots.permutation",
+                 "value slot " + std::to_string(slot) +
+                     " is out of range or assigned twice");
+      return;
+    }
+    seen[slot] = true;
+  }
+  if (!points.empty()) {
+    const Box bbox = Box::bounding(points);
+    if (!(bbox == fragment.bbox)) {
+      issues.add("fragment.bbox.tight",
+                 "recomputed bounding box " + bbox.to_string() +
+                     " != header box " + fragment.bbox.to_string());
+    }
+  }
+  if (!fragment.values.empty()) {
+    const auto [min_it, max_it] =
+        std::minmax_element(fragment.values.begin(), fragment.values.end());
+    if (*min_it != fragment.value_min || *max_it != fragment.value_max) {
+      issues.add("fragment.stats",
+                 "header value range does not match stored values");
+    }
+  }
+}
+
+}  // namespace
+
+void check_fragment_bytes(std::span<const std::byte> data, Depth depth,
+                          Issues& issues) {
+  FragmentInfo info;
+  if (!check_header(data, info, issues) || depth == Depth::kHeader) {
+    return;
+  }
+
+  Fragment fragment;
+  try {
+    fragment = decode_fragment(data);
+  } catch (const Error& e) {
+    issues.add("fragment.decode", e.what());
+    return;
+  }
+  std::unique_ptr<SparseFormat> format;
+  try {
+    format = load_format(fragment.org, fragment.index);
+  } catch (const Error& e) {
+    issues.add("format.load", e.what());
+    return;
+  }
+  if (format->point_count() != fragment.point_count) {
+    issues.add("fragment.point_count",
+               "index stores " + std::to_string(format->point_count()) +
+                   " points but the header records " +
+                   std::to_string(fragment.point_count));
+  }
+  if (!(format->tensor_shape() == fragment.shape)) {
+    issues.add("fragment.shape",
+               "index shape " + format->tensor_shape().to_string() +
+                   " != header shape " + fragment.shape.to_string());
+  }
+  format->check_invariants(issues);
+
+  if (depth == Depth::kFull && issues.ok()) {
+    check_full(fragment, *format, issues);
+  }
+}
+
+}  // namespace artsparse::check

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "check/issues.hpp"
 #include "core/linearize.hpp"
 #include "core/sort.hpp"
 
@@ -206,6 +207,24 @@ void BcsrFormat::load(BufferReader& in) {
   block_col_ = in.get_u64_vec();
   block_bitmap_ = in.get_u64_vec();
   block_start_ = in.get_u64_vec();
+  // to_2d() divides addresses by cols_ and lookup() indexes
+  // block_row_ptr_[row / 8 + 1]: the 2-D shape must tile the local box and
+  // block_row_ptr_ must have one entry per block row plus one.
+  if (local_box_.empty()) {
+    detail::require(rows_ == 0 && cols_ == 0,
+                    "BCSR 2-D shape without a local box");
+  } else {
+    detail::require(local_box_.rank() == shape_.rank(),
+                    "BCSR local box rank does not match shape rank");
+    const index_t cells = local_box_.shape().element_count();
+    detail::require(cols_ > 0 && cols_ <= cells && rows_ == cells / cols_ &&
+                        cells % cols_ == 0,
+                    "BCSR 2-D shape does not tile the local box");
+  }
+  const index_t n_block_rows = (rows_ + kBlockRows - 1) / kBlockRows;
+  detail::require(
+      block_row_ptr_.size() == static_cast<std::size_t>(n_block_rows) + 1,
+      "BCSR block_row_ptr length mismatch");
   detail::require(block_col_.size() == block_bitmap_.size() &&
                       block_col_.size() == block_start_.size(),
                   "BCSR block arrays length mismatch");
@@ -224,6 +243,67 @@ void BcsrFormat::load(BufferReader& in) {
   }
   detail::require(running == point_count_,
                   "BCSR bitmap popcount does not match point count");
+}
+
+void BcsrFormat::check_invariants(check::Issues& issues) const {
+  if (rows_ == 0 && block_row_ptr_.empty() && block_col_.empty() &&
+      block_bitmap_.empty() && block_start_.empty()) {
+    return;  // default-constructed / empty index
+  }
+  const index_t n_block_rows = (rows_ + kBlockRows - 1) / kBlockRows;
+  const index_t n_block_cols = (cols_ + kBlockCols - 1) / kBlockCols;
+  if (block_row_ptr_.size() != static_cast<std::size_t>(n_block_rows) + 1 ||
+      !std::is_sorted(block_row_ptr_.begin(), block_row_ptr_.end()) ||
+      block_row_ptr_.back() != block_col_.size() ||
+      block_col_.size() != block_bitmap_.size() ||
+      block_col_.size() != block_start_.size()) {
+    issues.add("bcsr.structure",
+               "block_row_ptr does not partition the block arrays");
+    return;
+  }
+  for (index_t br = 0; br < n_block_rows; ++br) {
+    const std::size_t begin = block_row_ptr_[static_cast<std::size_t>(br)];
+    const std::size_t end = block_row_ptr_[static_cast<std::size_t>(br) + 1];
+    for (std::size_t b = begin; b < end; ++b) {
+      if (block_col_[b] >= n_block_cols) {
+        issues.add("bcsr.block_col.range",
+                   "block " + std::to_string(b) + " column " +
+                       std::to_string(block_col_[b]) + " >= " +
+                       std::to_string(n_block_cols));
+        return;
+      }
+      // find_block() binary-searches block columns within a block row.
+      if (b > begin && block_col_[b - 1] >= block_col_[b]) {
+        issues.add("bcsr.block_col.sorted",
+                   "block row " + std::to_string(br) +
+                       " columns are not strictly ascending");
+        return;
+      }
+      if (block_bitmap_[b] == 0) {
+        issues.add("bcsr.bitmap.empty",
+                   "block " + std::to_string(b) + " stores no points");
+        return;
+      }
+      // Edge blocks may overhang the 2-D shape; occupied cells must not.
+      index_t bitmap = block_bitmap_[b];
+      while (bitmap != 0) {
+        const int bit = std::countr_zero(bitmap);
+        bitmap &= bitmap - 1;
+        const index_t row =
+            br * kBlockRows + static_cast<index_t>(bit) / kBlockCols;
+        const index_t col = block_col_[b] * kBlockCols +
+                            static_cast<index_t>(bit) % kBlockCols;
+        if (row >= rows_ || col >= cols_) {
+          issues.add("bcsr.bitmap.in_shape",
+                     "block " + std::to_string(b) + " occupies cell (" +
+                         std::to_string(row) + ", " + std::to_string(col) +
+                         ") outside " + std::to_string(rows_) + "x" +
+                         std::to_string(cols_));
+          return;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace artsparse

@@ -45,6 +45,8 @@ class BcsrFormat final : public SparseFormat {
   void save(BufferWriter& out) const override;
   void load(BufferReader& in) override;
 
+  void check_invariants(check::Issues& issues) const override;
+
   std::size_t point_count() const override { return point_count_; }
   const Shape& tensor_shape() const override { return shape_; }
 

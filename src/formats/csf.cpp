@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "check/issues.hpp"
 #include "core/sort.hpp"
 
 namespace artsparse {
@@ -201,6 +202,20 @@ void CsfFormat::load(BufferReader& in) {
                   "CSF fids/nfibs level count mismatch");
   detail::require(fids_.empty() || fptr_.size() + 1 == fids_.size(),
                   "CSF fptr level count mismatch");
+  // lookup() walks one level per shape dimension, reading
+  // point[dim_order_[level]]: the tree must have exactly rank() levels and
+  // dim_order_ must be a permutation of the dimensions, or the descent
+  // indexes out of bounds.
+  detail::require(fids_.empty() || fids_.size() == shape_.rank(),
+                  "CSF level count does not match shape rank");
+  detail::require(dim_order_.size() == fids_.size(),
+                  "CSF dim_order length does not match level count");
+  std::vector<bool> seen(dim_order_.size(), false);
+  for (std::size_t dim : dim_order_) {
+    detail::require(dim < seen.size() && !seen[dim],
+                    "CSF dim_order is not a permutation of the dimensions");
+    seen[dim] = true;
+  }
   for (std::size_t level = 0; level < fids_.size(); ++level) {
     detail::require(fids_[level].size() == nfibs_[level],
                     "CSF nfibs does not match fids length");
@@ -214,6 +229,72 @@ void CsfFormat::load(BufferReader& in) {
         detail::require(fptr_[level][k - 1] <= fptr_[level][k],
                         "CSF fptr not monotone");
       }
+    }
+  }
+}
+
+void CsfFormat::check_invariants(check::Issues& issues) const {
+  if (fids_.empty()) return;
+  if (fids_.size() != shape_.rank() || dim_order_.size() != fids_.size() ||
+      fptr_.size() + 1 != fids_.size()) {
+    issues.add("csf.levels",
+               "tree has " + std::to_string(fids_.size()) +
+                   " levels, dim_order " + std::to_string(dim_order_.size()) +
+                   ", fptr " + std::to_string(fptr_.size()) + " for rank " +
+                   std::to_string(shape_.rank()));
+    return;
+  }
+  // Validate the fptr structure before using it to delimit fiber ranges:
+  // the sortedness sweep below indexes fids_[level] through these offsets.
+  for (std::size_t level = 0; level + 1 < fids_.size(); ++level) {
+    const auto& ptr = fptr_[level];
+    const bool shaped = ptr.size() == fids_[level].size() + 1 &&
+                        !ptr.empty() && ptr.back() == fids_[level + 1].size();
+    if (!shaped || !std::is_sorted(ptr.begin(), ptr.end())) {
+      issues.add("csf.fptr",
+                 "level " + std::to_string(level) +
+                     " fptr does not partition the next level");
+      return;
+    }
+  }
+  for (std::size_t level = 0; level < fids_.size(); ++level) {
+    const std::size_t dim = dim_order_[level];
+    if (dim >= shape_.rank()) {
+      issues.add("csf.dim_order.range",
+                 "dim_order[" + std::to_string(level) + "] = " +
+                     std::to_string(dim) + " >= rank " +
+                     std::to_string(shape_.rank()));
+      return;
+    }
+    for (index_t fid : fids_[level]) {
+      if (fid >= shape_.extent(dim)) {
+        issues.add("csf.fids.in_shape",
+                   "level " + std::to_string(level) + " coordinate " +
+                       std::to_string(fid) + " >= extent " +
+                       std::to_string(shape_.extent(dim)));
+        break;
+      }
+    }
+    // lookup() binary-searches each fiber's child range: coordinates must
+    // be sorted within every range (duplicates occur only at the leaves,
+    // where duplicate input points keep their own slots).
+    const auto& ids = fids_[level];
+    bool sorted = true;
+    if (level == 0) {
+      sorted = std::is_sorted(ids.begin(), ids.end());
+    } else {
+      const auto& parents = fptr_[level - 1];
+      for (std::size_t f = 0; f + 1 < parents.size() && sorted; ++f) {
+        const auto begin =
+            ids.begin() + static_cast<std::ptrdiff_t>(parents[f]);
+        const auto end =
+            ids.begin() + static_cast<std::ptrdiff_t>(parents[f + 1]);
+        sorted = std::is_sorted(begin, end);
+      }
+    }
+    if (!sorted) {
+      issues.add("csf.fids.sorted", "level " + std::to_string(level) +
+                                        " fiber coordinates are not sorted");
     }
   }
 }

@@ -37,6 +37,8 @@ class CsfFormat final : public SparseFormat {
   void save(BufferWriter& out) const override;
   void load(BufferReader& in) override;
 
+  void check_invariants(check::Issues& issues) const override;
+
   std::size_t point_count() const override {
     return fids_.empty() ? 0 : fids_.back().size();
   }

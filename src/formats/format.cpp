@@ -1,5 +1,8 @@
 #include "formats/format.hpp"
 
+#include "check/issues.hpp"
+#include "core/types.hpp"
+
 namespace artsparse {
 
 std::vector<std::size_t> SparseFormat::read(const CoordBuffer& queries) const {
@@ -9,6 +12,12 @@ std::vector<std::size_t> SparseFormat::read(const CoordBuffer& queries) const {
     slots.push_back(lookup(queries.point(i)));
   }
   return slots;
+}
+
+void SparseFormat::validate() const {
+  check::Issues issues;
+  check_invariants(issues);
+  issues.raise_if_failed(to_string(kind()) + " index invalid");
 }
 
 std::size_t SparseFormat::index_bytes() const {

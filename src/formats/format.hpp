@@ -19,6 +19,10 @@
 
 namespace artsparse {
 
+namespace check {
+class Issues;  // check/issues.hpp
+}
+
 /// Sentinel slot for "point not present".
 inline constexpr std::size_t kNotFound = std::numeric_limits<std::size_t>::max();
 
@@ -70,6 +74,16 @@ class SparseFormat {
   /// on a fresh instance fully reconstructs the format.
   virtual void save(BufferWriter& out) const = 0;
   virtual void load(BufferReader& in) = 0;
+
+  /// Deep structural self-check: appends one Issue per violated invariant
+  /// (monotone offsets, sorted fibers, in-shape coordinates, consistent
+  /// fiber trees, ...). O(n) or worse — run by paranoid loads and by
+  /// `artsparse check`, not on the default hot path. A format that passes
+  /// build() or a trusted load() must come out clean.
+  virtual void check_invariants(check::Issues& issues) const = 0;
+
+  /// Runs check_invariants() and throws FormatError when anything failed.
+  void validate() const;
 
   /// Size in bytes of the serialized index — the space cost the paper's
   /// Fig. 4 reports (values excluded; they are constant across formats).

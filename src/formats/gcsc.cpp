@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/issues.hpp"
 #include "core/linearize.hpp"
 #include "core/sort.hpp"
 
@@ -170,6 +171,19 @@ void GcscFormat::load(BufferReader& in) {
   cols_ = in.get_u64();
   col_ptr_ = in.get_u64_vec();
   row_ind_ = in.get_u64_vec();
+  // to_2d() computes addr % cols_ and indexes col_ptr_[col + 1]: the 2-D
+  // shape must exactly tile the local box's address space.
+  if (local_box_.empty()) {
+    detail::require(rows_ == 0 && cols_ == 0,
+                    "GCSC 2-D shape without a local box");
+  } else {
+    detail::require(local_box_.rank() == shape_.rank(),
+                    "GCSC local box rank does not match shape rank");
+    const index_t cells = local_box_.shape().element_count();
+    detail::require(cols_ > 0 && cols_ <= cells && rows_ == cells / cols_ &&
+                        cells % cols_ == 0,
+                    "GCSC 2-D shape does not tile the local box");
+  }
   detail::require(col_ptr_.size() == static_cast<std::size_t>(cols_) + 1,
                   "GCSC col_ptr length mismatch");
   detail::require(col_ptr_.empty() || col_ptr_.back() == row_ind_.size(),
@@ -177,6 +191,41 @@ void GcscFormat::load(BufferReader& in) {
   for (std::size_t c = 1; c < col_ptr_.size(); ++c) {
     detail::require(col_ptr_[c - 1] <= col_ptr_[c],
                     "GCSC col_ptr not monotone");
+  }
+}
+
+void GcscFormat::check_invariants(check::Issues& issues) const {
+  if (cols_ == 0 && col_ptr_.empty() && row_ind_.empty()) {
+    return;  // default-constructed / empty index
+  }
+  if (col_ptr_.size() != static_cast<std::size_t>(cols_) + 1) {
+    issues.add("gcsc.col_ptr.length",
+               "col_ptr has " + std::to_string(col_ptr_.size()) +
+                   " entries for " + std::to_string(cols_) + " columns");
+    return;
+  }
+  for (std::size_t c = 1; c < col_ptr_.size(); ++c) {
+    if (col_ptr_[c - 1] > col_ptr_[c]) {
+      issues.add("gcsc.col_ptr.monotone",
+                 "col_ptr decreases at column " + std::to_string(c));
+      return;
+    }
+  }
+  if (!col_ptr_.empty() && col_ptr_.back() != row_ind_.size()) {
+    issues.add("gcsc.col_ptr.cover",
+               "col_ptr ends at " + std::to_string(col_ptr_.back()) +
+                   " but row_ind has " + std::to_string(row_ind_.size()) +
+                   " entries");
+    return;
+  }
+  for (std::size_t i = 0; i < row_ind_.size(); ++i) {
+    if (row_ind_[i] >= rows_) {
+      issues.add("gcsc.row_ind.range",
+                 "row_ind[" + std::to_string(i) + "] = " +
+                     std::to_string(row_ind_[i]) + " >= rows " +
+                     std::to_string(rows_));
+      break;
+    }
   }
 }
 

@@ -1,5 +1,6 @@
 #include "formats/gcsr.hpp"
 
+#include "check/issues.hpp"
 #include "core/linearize.hpp"
 #include "core/parallel.hpp"
 #include "core/sort.hpp"
@@ -167,6 +168,19 @@ void GcsrFormat::load(BufferReader& in) {
   cols_ = in.get_u64();
   row_ptr_ = in.get_u64_vec();
   col_ind_ = in.get_u64_vec();
+  // to_2d() divides addresses by cols_ and indexes row_ptr_[row + 1], so
+  // the 2-D shape must exactly tile the local box's address space.
+  if (local_box_.empty()) {
+    detail::require(rows_ == 0 && cols_ == 0,
+                    "GCSR 2-D shape without a local box");
+  } else {
+    detail::require(local_box_.rank() == shape_.rank(),
+                    "GCSR local box rank does not match shape rank");
+    const index_t cells = local_box_.shape().element_count();
+    detail::require(cols_ > 0 && cols_ <= cells && rows_ == cells / cols_ &&
+                        cells % cols_ == 0,
+                    "GCSR 2-D shape does not tile the local box");
+  }
   detail::require(row_ptr_.size() == static_cast<std::size_t>(rows_) + 1,
                   "GCSR row_ptr length mismatch");
   detail::require(row_ptr_.empty() || row_ptr_.back() == col_ind_.size(),
@@ -174,6 +188,41 @@ void GcsrFormat::load(BufferReader& in) {
   for (std::size_t r = 1; r < row_ptr_.size(); ++r) {
     detail::require(row_ptr_[r - 1] <= row_ptr_[r],
                     "GCSR row_ptr not monotone");
+  }
+}
+
+void GcsrFormat::check_invariants(check::Issues& issues) const {
+  if (rows_ == 0 && row_ptr_.empty() && col_ind_.empty()) {
+    return;  // default-constructed / empty index
+  }
+  if (row_ptr_.size() != static_cast<std::size_t>(rows_) + 1) {
+    issues.add("gcsr.row_ptr.length",
+               "row_ptr has " + std::to_string(row_ptr_.size()) +
+                   " entries for " + std::to_string(rows_) + " rows");
+    return;
+  }
+  for (std::size_t r = 1; r < row_ptr_.size(); ++r) {
+    if (row_ptr_[r - 1] > row_ptr_[r]) {
+      issues.add("gcsr.row_ptr.monotone",
+                 "row_ptr decreases at row " + std::to_string(r));
+      return;
+    }
+  }
+  if (!row_ptr_.empty() && row_ptr_.back() != col_ind_.size()) {
+    issues.add("gcsr.row_ptr.cover",
+               "row_ptr ends at " + std::to_string(row_ptr_.back()) +
+                   " but col_ind has " + std::to_string(col_ind_.size()) +
+                   " entries");
+    return;
+  }
+  for (std::size_t i = 0; i < col_ind_.size(); ++i) {
+    if (col_ind_[i] >= cols_) {
+      issues.add("gcsr.col_ind.range",
+                 "col_ind[" + std::to_string(i) + "] = " +
+                     std::to_string(col_ind_[i]) + " >= cols " +
+                     std::to_string(cols_));
+      break;
+    }
   }
 }
 

@@ -37,6 +37,8 @@ class GcsrFormat final : public SparseFormat {
   void save(BufferWriter& out) const override;
   void load(BufferReader& in) override;
 
+  void check_invariants(check::Issues& issues) const override;
+
   std::size_t point_count() const override { return col_ind_.size(); }
   const Shape& tensor_shape() const override { return shape_; }
 

@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "check/issues.hpp"
 #include "core/linearize.hpp"
 
 namespace artsparse {
@@ -119,8 +120,43 @@ void LinearFormat::load(BufferReader& in) {
     auto lo = in.get_u64_vec();
     auto hi = in.get_u64_vec();
     local_box_ = Box(std::move(lo), std::move(hi));
+    detail::require(local_box_.rank() == shape_.rank(),
+                    "LINEAR local box rank does not match shape rank");
   }
   addresses_ = in.get_u64_vec();
+}
+
+void LinearFormat::check_invariants(check::Issues& issues) const {
+  if (addressing_ == LinearAddressing::kLocal) {
+    if (!local_box_.empty() && local_box_.rank() != shape_.rank()) {
+      issues.add("linear.box.rank",
+                 "local box rank " + std::to_string(local_box_.rank()) +
+                     " != shape rank " + std::to_string(shape_.rank()));
+      return;
+    }
+    if (local_box_.empty() && !addresses_.empty()) {
+      issues.add("linear.box.missing",
+                 "local addressing with " +
+                     std::to_string(addresses_.size()) +
+                     " addresses but no local box");
+      return;
+    }
+  }
+  // Addresses past the address space delinearize to out-of-shape points.
+  const index_t space = addressing_ == LinearAddressing::kLocal
+                            ? (local_box_.empty()
+                                   ? 0
+                                   : local_box_.shape().element_count())
+                            : shape_.element_count();
+  for (std::size_t i = 0; i < addresses_.size(); ++i) {
+    if (addresses_[i] >= space) {
+      issues.add("linear.addresses.bounded",
+                 "address " + std::to_string(addresses_[i]) + " at slot " +
+                     std::to_string(i) + " >= address space " +
+                     std::to_string(space));
+      break;
+    }
+  }
 }
 
 }  // namespace artsparse

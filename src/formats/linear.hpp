@@ -39,6 +39,8 @@ class LinearFormat final : public SparseFormat {
   void save(BufferWriter& out) const override;
   void load(BufferReader& in) override;
 
+  void check_invariants(check::Issues& issues) const override;
+
   std::size_t point_count() const override { return addresses_.size(); }
   const Shape& tensor_shape() const override { return shape_; }
 

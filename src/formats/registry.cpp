@@ -1,5 +1,6 @@
 #include "formats/registry.hpp"
 
+#include "check/contracts.hpp"
 #include "formats/bcsr.hpp"
 #include "formats/coo.hpp"
 #include "formats/csf.hpp"
@@ -39,6 +40,11 @@ std::unique_ptr<SparseFormat> load_format(OrgKind kind,
   auto format = make_format(kind);
   BufferReader reader(bytes);
   format->load(reader);
+  // load() enforces only the cheap memory-safety invariants; paranoid mode
+  // (ARTSPARSE_PARANOID) adds the full O(n) structural pass on every load.
+  if (check::paranoid_enabled()) {
+    format->validate();
+  }
   return format;
 }
 

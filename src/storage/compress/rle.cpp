@@ -34,7 +34,9 @@ Bytes RleCodec::decode(std::span<const std::byte> coded) const {
                   "rle payload truncated");
   std::uint64_t total = 0;
   std::memcpy(&total, coded.data(), sizeof(total));
-  detail::require(total <= coded.size() * 255,
+  // Multiply in 64 bits: on a 32-bit size_t the product could wrap and let
+  // an absurd `total` through.
+  detail::require(total <= static_cast<std::uint64_t>(coded.size()) * 255,
                   "rle raw length implausibly large");
 
   Bytes out;

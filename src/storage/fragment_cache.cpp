@@ -24,11 +24,10 @@ std::shared_ptr<const OpenFragment> load_open_fragment(
   open->bbox = fragment.bbox;
   open->point_count = fragment.point_count;
   open->file_bytes = raw.size();
-  open->format = make_format(fragment.org);
-  {
-    BufferReader reader(fragment.index);
-    open->format->load(reader);
-  }
+  // load_format() rather than a bare load(): it applies the paranoid
+  // deep-invariant pass (ARTSPARSE_PARANOID) to every fragment opened
+  // through the cache.
+  open->format = load_format(fragment.org, fragment.index);
   open->values = std::move(fragment.values);
   // Budget accounting: the two payloads that dominate the resident size.
   // The decoded in-memory index is approximated by its serialized size.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/issues.hpp"
 #include "core/error.hpp"
 
 namespace artsparse {
@@ -134,6 +135,68 @@ std::size_t RTree::height() const {
     ++levels;
   }
   return levels;
+}
+
+void RTree::check_invariants(check::Issues& issues) const {
+  if (nodes_.empty()) {
+    if (leaf_count_ != 0) {
+      issues.add("rtree.empty", "tree records " +
+                                    std::to_string(leaf_count_) +
+                                    " entries but has no nodes");
+    }
+    return;
+  }
+  std::vector<std::size_t> entry_seen(entry_boxes_.size(), 0);
+  std::vector<bool> node_seen(nodes_.size(), false);
+  std::vector<std::size_t> stack{root_};
+  while (!stack.empty()) {
+    const std::size_t at = stack.back();
+    stack.pop_back();
+    if (at >= nodes_.size() || node_seen[at]) {
+      issues.add("rtree.nodes", "node reference " + std::to_string(at) +
+                                    " is out of range or forms a cycle");
+      return;
+    }
+    node_seen[at] = true;
+    const Node& node = nodes_[at];
+    for (std::size_t child : node.children) {
+      if (node.leaf) {
+        if (child >= entry_boxes_.size()) {
+          issues.add("rtree.entries", "leaf entry " + std::to_string(child) +
+                                          " is out of range");
+          return;
+        }
+        ++entry_seen[child];
+        if (!node.bbox.contains(entry_boxes_[child])) {
+          issues.add("rtree.containment",
+                     "leaf node box does not contain entry " +
+                         std::to_string(child));
+        }
+      } else {
+        if (child < nodes_.size() &&
+            !node.bbox.contains(nodes_[child].bbox)) {
+          issues.add("rtree.containment",
+                     "inner node box does not contain child node " +
+                         std::to_string(child));
+        }
+        stack.push_back(child);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < entry_seen.size(); ++i) {
+    if (entry_seen[i] != 1) {
+      issues.add("rtree.coverage",
+                 "entry " + std::to_string(i) + " is referenced " +
+                     std::to_string(entry_seen[i]) + " times");
+      return;
+    }
+  }
+  if (entry_boxes_.size() != leaf_count_) {
+    issues.add("rtree.count", "entry box count " +
+                                  std::to_string(entry_boxes_.size()) +
+                                  " != recorded leaf count " +
+                                  std::to_string(leaf_count_));
+  }
 }
 
 }  // namespace artsparse

@@ -17,6 +17,10 @@
 
 namespace artsparse {
 
+namespace check {
+class Issues;  // check/issues.hpp
+}
+
 class RTree {
  public:
   RTree() = default;
@@ -43,6 +47,11 @@ class RTree {
 
   /// Height of the tree (0 when empty, 1 for a single leaf node).
   std::size_t height() const;
+
+  /// Structural self-check for `artsparse check`: every node box must
+  /// contain its children's boxes (else queries silently miss entries) and
+  /// every entry must be reachable exactly once.
+  void check_invariants(check::Issues& issues) const;
 
  private:
   struct Node {

@@ -106,10 +106,15 @@ class BufferReader {
     return s;
   }
 
-  Bytes get_bytes(std::size_t n) {
-    detail::require(remaining() >= n, "serialized buffer truncated");
-    Bytes b(data_.begin() + offset_, data_.begin() + offset_ + n);
-    offset_ += n;
+  /// Takes a u64 so untrusted 64-bit lengths are bounds-checked *before*
+  /// any narrowing to size_t (a 32-bit size_t would otherwise truncate a
+  /// hostile length into a small, "valid" one).
+  Bytes get_bytes(std::uint64_t n) {
+    detail::require(n <= remaining(), "serialized buffer truncated");
+    const auto count = static_cast<std::size_t>(n);
+    Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(offset_),
+            data_.begin() + static_cast<std::ptrdiff_t>(offset_ + count));
+    offset_ += count;
     return b;
   }
 
@@ -128,7 +133,9 @@ class BufferReader {
 
   void get_raw(void* out, std::size_t n) {
     detail::require(remaining() >= n, "serialized buffer truncated");
-    std::memcpy(out, data_.data() + offset_, n);
+    if (n > 0) {  // data() may be null on an empty span; memcpy forbids null
+      std::memcpy(out, data_.data() + offset_, n);
+    }
     offset_ += n;
   }
 

@@ -1,0 +1,201 @@
+// Tests for the artsparse::check subsystem itself: the contract macro, the
+// paranoid-mode switch, the Issues collector, per-format deep validators on
+// healthy indexes, the R-tree self-check, and the store-level fsck engine.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "check/contracts.hpp"
+#include "check/fsck.hpp"
+#include "check/issues.hpp"
+#include "check/validate.hpp"
+#include "core/error.hpp"
+#include "corruption_support.hpp"
+#include "formats/registry.hpp"
+#include "storage/file_io.hpp"
+#include "storage/fragment_store.hpp"
+#include "storage/rtree.hpp"
+
+namespace artsparse {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Contracts, AssertPassesAndThrowsFormatError) {
+  EXPECT_NO_THROW(ARTSPARSE_ASSERT(2 + 2 == 4, "arithmetic still works"));
+  try {
+    ARTSPARSE_ASSERT(1 == 2, "broken invariant");
+    FAIL() << "ARTSPARSE_ASSERT did not throw";
+  } catch (const FormatError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("broken invariant"), std::string::npos) << what;
+  }
+}
+
+TEST(Contracts, ParanoidGuardOverridesAndRestores) {
+  {
+    check::ParanoidGuard on(true);
+    EXPECT_TRUE(check::paranoid_enabled());
+    check::set_paranoid(false);
+    EXPECT_FALSE(check::paranoid_enabled());
+    check::set_paranoid(true);
+    EXPECT_TRUE(check::paranoid_enabled());
+  }
+  // After the guard, the env/compile-time default is back; in the test
+  // environment that default is off.
+  EXPECT_FALSE(check::paranoid_enabled());
+}
+
+TEST(Contracts, ParanoidLoadRejectsOutOfShapeCoords) {
+  const Fragment fragment =
+      decode_fragment(testing::corrupt_out_of_shape_coord());
+  {
+    check::ParanoidGuard off(false);
+    EXPECT_NO_THROW(load_format(fragment.org, fragment.index));
+  }
+  {
+    check::ParanoidGuard on(true);
+    EXPECT_THROW(load_format(fragment.org, fragment.index), FormatError);
+    // Healthy indexes still load in paranoid mode.
+    const Fragment good =
+        decode_fragment(testing::valid_fragment_bytes(OrgKind::kCoo));
+    EXPECT_NO_THROW(load_format(good.org, good.index));
+  }
+}
+
+TEST(IssuesCollector, CollectsSummarizesAndRaises) {
+  check::Issues issues;
+  EXPECT_TRUE(issues.ok());
+  EXPECT_NO_THROW(issues.raise_if_failed("clean"));
+  issues.add("a.rule", "first detail");
+  issues.add("b.rule", "second detail");
+  EXPECT_FALSE(issues.ok());
+  EXPECT_EQ(issues.size(), 2u);
+  const std::string summary = issues.summary();
+  EXPECT_NE(summary.find("a.rule: first detail"), std::string::npos);
+  EXPECT_NE(summary.find("b.rule"), std::string::npos);
+  try {
+    issues.raise_if_failed("ctx");
+    FAIL() << "raise_if_failed did not throw";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("ctx"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("a.rule"), std::string::npos);
+  }
+}
+
+TEST(DeepValidators, HealthyIndexesPassForEveryOrganization) {
+  for (OrgKind org : all_org_kinds()) {
+    auto built = make_format(org);
+    built->build(testing::fig1_coords(), testing::fig1_shape());
+    check::Issues issues;
+    built->check_invariants(issues);
+    EXPECT_TRUE(issues.ok()) << to_string(org) << ": " << issues.summary();
+    EXPECT_NO_THROW(built->validate());
+
+    // A default-constructed (empty) format is also a valid object.
+    auto fresh = make_format(org);
+    check::Issues empty_issues;
+    fresh->check_invariants(empty_issues);
+    EXPECT_TRUE(empty_issues.ok())
+        << to_string(org) << " (empty): " << empty_issues.summary();
+  }
+}
+
+TEST(DeepValidators, DepthNamesRoundTrip) {
+  for (check::Depth depth : {check::Depth::kHeader, check::Depth::kStructure,
+                             check::Depth::kFull}) {
+    EXPECT_EQ(check::depth_from_string(check::to_string(depth)), depth);
+  }
+  EXPECT_THROW(check::depth_from_string("paranoid"), FormatError);
+}
+
+TEST(RTreeCheck, BulkLoadedTreePassesSelfCheck) {
+  std::vector<Box> boxes;
+  for (index_t i = 0; i < 100; ++i) {
+    boxes.push_back(Box({i * 2, i * 3}, {i * 2 + 5, i * 3 + 4}));
+  }
+  const RTree tree = RTree::bulk_load(boxes, /*fanout=*/4);
+  check::Issues issues;
+  tree.check_invariants(issues);
+  EXPECT_TRUE(issues.ok()) << issues.summary();
+
+  const RTree empty;
+  check::Issues empty_issues;
+  empty.check_invariants(empty_issues);
+  EXPECT_TRUE(empty_issues.ok()) << empty_issues.summary();
+}
+
+class FsckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::fresh_temp_dir("fsck");
+    FragmentStore store(dir_, testing::fig1_shape());
+    store.write(testing::fig1_coords(), testing::fig1_values(),
+                OrgKind::kGcsr);
+    store.write(testing::fig1_coords(), testing::fig1_values(),
+                OrgKind::kCsf);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path first_fragment() const {
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      if (entry.path().extension() == ".asf") return entry.path();
+    }
+    ADD_FAILURE() << "store has no fragment files";
+    return {};
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(FsckTest, CleanStorePassesAtEveryDepth) {
+  for (check::Depth depth : {check::Depth::kHeader, check::Depth::kStructure,
+                             check::Depth::kFull}) {
+    const check::StoreReport report = check::check_store(dir_, depth);
+    EXPECT_EQ(report.checked(), 2u);
+    EXPECT_EQ(report.failed(), 0u);
+    EXPECT_TRUE(report.ok()) << check::to_string(depth);
+  }
+}
+
+TEST_F(FsckTest, CorruptFragmentIsReportedNotThrown) {
+  write_file(first_fragment(), testing::corrupt_checksum());
+  const check::StoreReport report =
+      check::check_store(dir_, check::Depth::kHeader);
+  EXPECT_EQ(report.checked(), 2u);
+  EXPECT_EQ(report.failed(), 1u);
+  EXPECT_FALSE(report.ok());
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"fragment.checksum\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"checked\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"failed\": 1"), std::string::npos) << json;
+}
+
+TEST_F(FsckTest, UnreadableFileBecomesAnIoIssue) {
+  const check::FragmentReport report = check::check_fragment_file(
+      dir_ / "zz_missing.asf", check::Depth::kHeader);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues.items()[0].rule, "fragment.io");
+}
+
+TEST_F(FsckTest, NonFragmentDirectoryEntriesAreSkipped) {
+  fs::create_directory(dir_ / "subdir.asf");
+  std::ofstream(dir_ / "notes.txt") << "not a fragment";
+  const check::StoreReport report =
+      check::check_store(dir_, check::Depth::kStructure);
+  EXPECT_EQ(report.checked(), 2u);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST_F(FsckTest, MissingDirectoryThrowsIoError) {
+  EXPECT_THROW(check::check_store(dir_ / "no_such_subdir",
+                                  check::Depth::kHeader),
+               IoError);
+}
+
+}  // namespace
+}  // namespace artsparse

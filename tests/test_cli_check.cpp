@@ -1,0 +1,95 @@
+// End-to-end test of `artsparse_cli check` (the acceptance criterion of the
+// invariant-checking subsystem): for each of the five seeded corruption
+// classes, a store containing one corrupted fragment must make the CLI exit
+// non-zero, and a clean store must exit zero. The CLI binary path is injected
+// at compile time via ARTSPARSE_CLI_PATH.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "corruption_support.hpp"
+#include "storage/file_io.hpp"
+#include "storage/fragment_store.hpp"
+
+namespace artsparse {
+namespace {
+
+namespace fs = std::filesystem;
+
+int run_cli(const std::string& arguments) {
+  const std::string command =
+      std::string(ARTSPARSE_CLI_PATH) + " " + arguments + " > /dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  if (status == -1) return -1;
+#ifdef WIFEXITED
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return -1;
+#else
+  return status;
+#endif
+}
+
+fs::path make_clean_store(const std::string& tag) {
+  const fs::path dir = testing::fresh_temp_dir("cli_" + tag);
+  FragmentStore store(dir, testing::fig1_shape());
+  store.write(testing::fig1_coords(), testing::fig1_values(), OrgKind::kGcsr);
+  store.write(testing::fig1_coords(), testing::fig1_values(), OrgKind::kCsf);
+  return dir;
+}
+
+fs::path a_fragment_of(const fs::path& dir) {
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".asf") return entry.path();
+  }
+  ADD_FAILURE() << "no fragment files in " << dir;
+  return {};
+}
+
+struct CorruptionClass {
+  const char* name;
+  Bytes (*generate)();
+};
+
+TEST(CliCheck, CleanStoreExitsZeroAtEveryDepth) {
+  const fs::path dir = make_clean_store("clean");
+  for (const char* depth : {"header", "structure", "full"}) {
+    EXPECT_EQ(run_cli("check --store " + dir.string() + " --depth " + depth),
+              0)
+        << depth;
+  }
+  EXPECT_EQ(run_cli("check --store " + dir.string() + " --json"), 0);
+  fs::remove_all(dir);
+}
+
+TEST(CliCheck, EveryCorruptionClassMakesCheckExitNonZero) {
+  const CorruptionClass classes[] = {
+      {"truncated_buffer", testing::corrupt_truncated},
+      {"bit_flipped_checksum", testing::corrupt_checksum},
+      {"non_monotone_offsets", testing::corrupt_nonmonotone_offsets},
+      {"out_of_shape_coord", testing::corrupt_out_of_shape_coord},
+      {"bad_map_permutation", testing::corrupt_bad_map},
+  };
+  for (const CorruptionClass& corruption : classes) {
+    const fs::path dir = make_clean_store(corruption.name);
+    write_file(a_fragment_of(dir), corruption.generate());
+    // Default depth (structure) must flag all five classes.
+    EXPECT_NE(run_cli("check --store " + dir.string()), 0)
+        << corruption.name;
+    EXPECT_NE(run_cli("check --store " + dir.string() + " --json"), 0)
+        << corruption.name << " (json)";
+    fs::remove_all(dir);
+  }
+}
+
+TEST(CliCheck, MissingStoreAndBadDepthFail) {
+  EXPECT_NE(run_cli("check --store /nonexistent/artsparse_store"), 0);
+  const fs::path dir = make_clean_store("baddepth");
+  EXPECT_NE(run_cli("check --store " + dir.string() + " --depth bogus"), 0);
+  EXPECT_NE(run_cli("check"), 0);  // --store is required
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace artsparse

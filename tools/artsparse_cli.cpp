@@ -35,7 +35,8 @@ int usage() {
       "  info      --store DIR\n"
       "  advise    --store DIR [--weights balanced|read|archive]\n"
       "  consolidate --store DIR [--org ORG]\n"
-      "  export    --store DIR --tsv FILE\n",
+      "  export    --store DIR --tsv FILE\n"
+      "  check     --store DIR [--depth header|structure|full] [--json]\n",
       stderr);
   return 2;
 }
@@ -230,6 +231,28 @@ int cmd_export(const Args& args) {
   return 0;
 }
 
+int cmd_check(const Args& args) {
+  const std::string dir = args.get("store");
+  detail::require(!dir.empty(), "--store is required");
+  const check::Depth depth =
+      check::depth_from_string(args.get("depth", "structure"));
+  const check::StoreReport report = check::check_store(dir, depth);
+  if (args.has("json")) {
+    std::printf("%s\n", report.to_json().c_str());
+  } else {
+    for (const auto& fragment : report.fragments) {
+      for (const auto& issue : fragment.issues.items()) {
+        std::printf("%s: %s: %s\n", fragment.path.c_str(),
+                    issue.rule.c_str(), issue.detail.c_str());
+      }
+    }
+    std::printf("checked %zu fragments at depth %s: %zu ok, %zu corrupt\n",
+                report.checked(), check::to_string(depth).c_str(),
+                report.checked() - report.failed(), report.failed());
+  }
+  return report.ok() ? 0 : 1;
+}
+
 int run(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   if (args.command == "generate") return cmd_generate(args);
@@ -240,6 +263,7 @@ int run(int argc, char** argv) {
   if (args.command == "advise") return cmd_advise(args);
   if (args.command == "consolidate") return cmd_consolidate(args);
   if (args.command == "export") return cmd_export(args);
+  if (args.command == "check") return cmd_check(args);
   return usage();
 }
 
