@@ -56,7 +56,14 @@ std::string StoreReport::to_json() const {
                     "\", \"depth\": \"" + check::to_string(depth) +
                     "\", \"checked\": " + std::to_string(checked()) +
                     ", \"failed\": " + std::to_string(failed()) +
-                    ", \"fragments\": [";
+                    ", \"strays\": [";
+  bool first_stray = true;
+  for (const std::string& stray : strays) {
+    if (!first_stray) out += ", ";
+    first_stray = false;
+    out += "\"" + json_escape(stray) + "\"";
+  }
+  out += "], \"fragments\": [";
   bool first_fragment = true;
   for (const FragmentReport& fragment : fragments) {
     if (!first_fragment) out += ", ";
@@ -100,14 +107,53 @@ StoreReport check_store(const std::filesystem::path& directory, Depth depth) {
   report.depth = depth;
   std::vector<std::filesystem::path> paths;
   for (const auto& entry : std::filesystem::directory_iterator(directory)) {
-    if (entry.is_regular_file() && entry.path().extension() == ".asf") {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() == ".asf") {
       paths.push_back(entry.path());
+    } else {
+      report.strays.push_back(entry.path().string());
     }
   }
   std::sort(paths.begin(), paths.end());
+  std::sort(report.strays.begin(), report.strays.end());
   report.fragments.reserve(paths.size());
   for (const auto& path : paths) {
     report.fragments.push_back(check_fragment_file(path, depth));
+  }
+  return report;
+}
+
+RepairReport repair_store(const std::filesystem::path& directory,
+                          Depth depth) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(directory, ec)) {
+    throw IoError("not a store directory: " + directory.string());
+  }
+  RepairReport report;
+  report.directory = directory.string();
+  report.depth = depth;
+  std::vector<std::filesystem::path> fragments;
+  for (const auto& entry : std::filesystem::directory_iterator(directory)) {
+    if (!entry.is_regular_file()) continue;
+    const std::filesystem::path& path = entry.path();
+    if (path.extension() == ".asf") {
+      fragments.push_back(path);
+    } else if (path.extension() == kTmpSuffix) {
+      std::filesystem::remove(path, ec);
+      report.swept_tmp.push_back(path.string());
+    } else {
+      report.strays.push_back(path.string());
+    }
+  }
+  std::sort(fragments.begin(), fragments.end());
+  std::sort(report.swept_tmp.begin(), report.swept_tmp.end());
+  std::sort(report.strays.begin(), report.strays.end());
+  for (const auto& path : fragments) {
+    ++report.checked;
+    if (check_fragment_file(path, depth).ok()) continue;
+    const std::filesystem::path aside = path.string() + kQuarantineSuffix;
+    std::filesystem::rename(path, aside, ec);
+    report.quarantined.push_back(path.string());
   }
   return report;
 }

@@ -25,6 +25,10 @@ struct StoreReport {
   std::string directory;
   Depth depth = Depth::kStructure;
   std::vector<FragmentReport> fragments;
+  /// Non-fragment files found in the directory (orphaned .tmp stage files,
+  /// .asf.quarantine casualties, operator droppings). Logged for the
+  /// operator but not counted as corruption: they are never loaded.
+  std::vector<std::string> strays;
 
   std::size_t checked() const { return fragments.size(); }
   std::size_t failed() const;
@@ -33,6 +37,29 @@ struct StoreReport {
   /// One-object JSON summary ({"directory": ..., "fragments": [...]}).
   std::string to_json() const;
 };
+
+/// What `artsparse repair` did to a store directory: orphaned .tmp stage
+/// files removed, fragments failing validation at the chosen depth renamed
+/// to <name>.quarantine, stray files left in place but listed.
+struct RepairReport {
+  std::string directory;
+  Depth depth = Depth::kHeader;
+  std::vector<std::string> swept_tmp;
+  std::vector<std::string> quarantined;
+  std::vector<std::string> strays;
+  std::size_t checked = 0;  ///< fragments validated (kept + quarantined)
+
+  bool clean() const { return swept_tmp.empty() && quarantined.empty(); }
+};
+
+/// Recovery sweep of a store directory without opening it as a
+/// FragmentStore (no tensor shape required): removes *.tmp orphans and
+/// quarantines fragments that fail validation at `depth`. Safe to run on a
+/// live directory between writes; never deletes fragment data (corrupt
+/// files are renamed, not removed). Throws IoError when `directory` is not
+/// a readable directory.
+RepairReport repair_store(const std::filesystem::path& directory,
+                          Depth depth = Depth::kHeader);
 
 /// Validates every *.asf file under `directory` (sorted by name) at
 /// `depth`. Unreadable files are reported as issues, not thrown. Throws

@@ -5,9 +5,30 @@
 
 namespace artsparse {
 
+bool io_errno_retryable(int error_number) {
+  switch (error_number) {
+    case EINTR:
+    case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case EBUSY:
+    case ETIMEDOUT:
+    case ENOSPC:  // quota flush / Lustre grant refresh in progress
+      return true;
+    default:
+      return false;
+  }
+}
+
 IoError IoError::from_errno(const std::string& op, const std::string& path) {
-  const int err = errno;
-  return IoError(op + " '" + path + "': " + std::strerror(err));
+  return with_errno(op, path, errno);
+}
+
+IoError IoError::with_errno(const std::string& op, const std::string& path,
+                            int error_number) {
+  return IoError(op + " '" + path + "': " + std::strerror(error_number),
+                 error_number);
 }
 
 namespace detail {

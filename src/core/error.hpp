@@ -29,12 +29,31 @@ class FormatError : public Error {
   explicit FormatError(const std::string& what) : Error(what) {}
 };
 
-/// Filesystem / IO failures, carrying errno context.
+/// True for errno classes worth retrying: transient conditions a parallel
+/// filesystem clears on its own (interrupted syscalls, backpressure, quota
+/// flushes in progress). EIO and friends are treated as permanent.
+bool io_errno_retryable(int error_number);
+
+/// Filesystem / IO failures. The raw errno travels as a field (0 when the
+/// failure has no errno, e.g. a short read), so retry classification and
+/// tests never parse the message text.
 class IoError : public Error {
  public:
-  explicit IoError(const std::string& what) : Error(what) {}
+  explicit IoError(const std::string& what, int error_number = 0)
+      : Error(what), errno_value_(error_number) {}
+
   /// Builds an IoError from the current errno.
   static IoError from_errno(const std::string& op, const std::string& path);
+
+  /// Builds an IoError from an explicit errno (fault injection, wrappers).
+  static IoError with_errno(const std::string& op, const std::string& path,
+                            int error_number);
+
+  int errno_value() const { return errno_value_; }
+  bool retryable() const { return io_errno_retryable(errno_value_); }
+
+ private:
+  int errno_value_ = 0;
 };
 
 namespace detail {

@@ -32,6 +32,14 @@ struct WriteBreakdown {
   double write = 0.0;   ///< fragment write to the storage device
   double others = 0.0;  ///< header encode, buffer concat, bookkeeping
 
+  /// Commit-attempt accounting from the retrying atomic write: attempts
+  /// made (>= 1 per fragment on success; summed across fragments in tiled
+  /// writes), retries among them, and the total backoff slept. `write`
+  /// already includes `backoff` — it is wall time of the commit phase.
+  std::size_t io_attempts = 0;
+  std::size_t io_retries = 0;
+  double backoff = 0.0;
+
   double total() const { return build + reorg + write + others; }
 };
 

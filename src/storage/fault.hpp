@@ -1,0 +1,117 @@
+// Deterministic fault injection for the storage syscall layer. Every POSIX
+// call the fragment commit path makes (open-for-write, write, fsync, rename,
+// directory fsync, plus the read side) passes through a named hook; a
+// process-wide FaultInjector can make the Nth call to a hook fail with a
+// chosen errno or "crash" (throw a CrashFault sentinel that models the
+// process dying mid-commit). Tests arm exact failure points instead of
+// racing timing tricks, so the whole crash matrix of a fragment WRITE is
+// exercised reproducibly.
+//
+// Spec grammar (ARTSPARSE_FAULT_SPEC or FaultInjector::configure):
+//   spec      := directive ("," directive)*
+//   directive := op ":" nth ":" action
+//   op        := open | open_read | read | write | fsync | rename | dirsync
+//   nth       := 1-based call number at which the directive fires (per op)
+//   action    := crash | errno name (EIO, EINTR, EAGAIN, ENOSPC, ...)
+//                | decimal errno value
+// Example: "write:3:EIO,fsync:1:crash" — the 3rd write call fails with EIO
+// and the 1st fsync call simulates a crash. Each directive fires once.
+//
+// The injector is disabled (one relaxed atomic load per hook) until a spec
+// is configured, so production paths pay nothing.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace artsparse {
+
+/// Syscall sites the injector can interpose.
+enum class FaultOp : std::size_t {
+  kOpenWrite = 0,  ///< open(2) of a file for writing ("open")
+  kOpenRead,       ///< open(2) of a file for reading ("open_read")
+  kRead,           ///< pread(2) ("read")
+  kWrite,          ///< write(2) ("write")
+  kFsync,          ///< fsync(2) on a file ("fsync")
+  kRename,         ///< rename(2) ("rename")
+  kDirFsync,       ///< fsync(2) on a directory ("dirsync")
+};
+inline constexpr std::size_t kFaultOpCount = 7;
+
+const char* to_string(FaultOp op);
+/// Parses the spec-grammar op names; throws FormatError on unknown names.
+FaultOp fault_op_from_string(const std::string& name);
+
+/// Thrown by the injector's "crash" action: simulates the process dying at
+/// the faulted syscall. Deliberately not an IoError so retry loops never
+/// swallow it — a crash must propagate to the test harness unwrapped.
+class CrashFault : public Error {
+ public:
+  explicit CrashFault(const std::string& what) : Error(what) {}
+};
+
+/// Process-wide injector singleton. Thread-safe; counters and directives
+/// are guarded by one mutex (hooks are storage syscalls, never hot loops).
+class FaultInjector {
+ public:
+  /// The singleton. On first use it arms itself from ARTSPARSE_FAULT_SPEC
+  /// when that variable is set.
+  static FaultInjector& instance();
+
+  /// Replaces all directives with `spec` (see grammar above) and zeroes the
+  /// per-op counters. An empty spec just resets.
+  void configure(const std::string& spec);
+
+  /// Re-reads ARTSPARSE_FAULT_SPEC (no-op when unset).
+  void configure_from_env();
+
+  /// Arms one errno fault at the `nth` call to `op` (1-based).
+  void arm(FaultOp op, std::size_t nth, int error_number);
+
+  /// Arms a simulated crash at the `nth` call to `op` (1-based).
+  void arm_crash(FaultOp op, std::size_t nth);
+
+  /// Drops every directive and zeroes the counters.
+  void reset();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Syscall hook: counts the call and throws IoError (with the armed
+  /// errno) or CrashFault when a directive matches. No-op when disabled —
+  /// callers guard with enabled() so the disabled cost is one atomic load.
+  void on_syscall(FaultOp op, const std::string& path);
+
+  /// Calls observed for `op` since the last configure/reset.
+  std::size_t calls(FaultOp op) const;
+
+ private:
+  struct Directive {
+    FaultOp op;
+    std::size_t nth = 0;
+    int error_number = 0;  ///< 0 means crash
+    bool fired = false;
+  };
+
+  FaultInjector() { configure_from_env(); }
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::array<std::size_t, kFaultOpCount> counters_{};
+  std::vector<Directive> directives_;
+};
+
+/// Inlineable hook used at each syscall site.
+inline void fault_point(FaultOp op, const std::string& path) {
+  FaultInjector& injector = FaultInjector::instance();
+  if (injector.enabled()) {
+    injector.on_syscall(op, path);
+  }
+}
+
+}  // namespace artsparse

@@ -1,14 +1,18 @@
 // RAII POSIX file wrapper. All fragment traffic goes through this layer (or
 // its throttled decorator), so benches can account byte-for-byte for what
-// hits the storage device.
+// hits the storage device, and every syscall passes a fault-injection hook
+// (see fault.hpp) so tests can exercise each failure point deterministically.
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/types.hpp"
+#include "storage/retry.hpp"
 
 namespace artsparse {
 
@@ -56,5 +60,36 @@ class PosixFile final : public FileDevice {
 /// Convenience helpers for whole-file access.
 Bytes read_file(const std::string& path);
 void write_file(const std::string& path, std::span<const std::byte> data);
+
+/// rename(2) with error context and a fault hook.
+void rename_file(const std::string& from, const std::string& to);
+
+/// fsync(2) on a directory, making renames within it durable. Required on
+/// POSIX for the commit point of an atomic file replace.
+void fsync_directory(const std::string& directory);
+
+/// The file extension appended to a path while its content is staged, and
+/// the one a corrupt fragment is renamed to when quarantined.
+inline constexpr const char* kTmpSuffix = ".tmp";
+inline constexpr const char* kQuarantineSuffix = ".quarantine";
+
+/// Factory for the device a staged file is written through; lets callers
+/// route the commit through the throttled device model. Null = bare
+/// PosixFile.
+using FileOpener =
+    std::function<std::unique_ptr<FileDevice>(const std::string&)>;
+
+/// Crash-consistent whole-file commit: stages `data` at `path`.tmp, fsyncs
+/// the file, rename(2)s it over `path`, then fsyncs the parent directory.
+/// A crash at any point leaves either the old state or the fully committed
+/// new file, plus at most one orphaned .tmp for the store sweep to collect.
+/// Transient errnos retry the whole staged sequence per `retry` (the stage
+/// file is truncated on each attempt, so retries are idempotent); on a
+/// non-crash failure the stage file is removed best-effort before the error
+/// propagates. Returns the attempt/backoff accounting.
+RetryStats atomic_write_file(const std::string& path,
+                             std::span<const std::byte> data,
+                             const RetryPolicy& retry = RetryPolicy::none(),
+                             const FileOpener& opener = nullptr);
 
 }  // namespace artsparse

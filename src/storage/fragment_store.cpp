@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "advisor/advisor.hpp"
+#include "check/validate.hpp"
 #include "core/error.hpp"
 #include "core/linearize.hpp"
 #include "core/parallel.hpp"
@@ -33,6 +34,8 @@ struct FragmentStore::Partial {
   double extract = 0.0;  ///< fragment load + decode (0 on a cache hit)
   double query = 0.0;    ///< organization-specific search
   bool cache_hit = false;
+  bool skipped = false;     ///< kSkip policy dropped this fragment
+  std::string skip_error;   ///< why (IoError / FormatError message)
 };
 
 FragmentStore::FragmentStore(std::filesystem::path directory, Shape shape,
@@ -114,14 +117,17 @@ WriteResult FragmentStore::write(const CoordBuffer& coords,
   // served from cache with the old bytes.
   cache_->invalidate(path.string());
 
-  // Write the fragment to the (possibly throttled) device (line 7).
+  // Commit the fragment to the (possibly throttled) device (line 7):
+  // stage + fsync + rename + directory fsync, retrying transient errors.
   timer.reset();
-  {
-    auto device = open_for_write(path.string(), model_);
-    device->write_all(encoded);
-    device->sync();
-  }
+  const RetryStats io = atomic_write_file(
+      path.string(), encoded, retry_, [this](const std::string& staged) {
+        return open_for_write(staged, model_);
+      });
   result.times.write = timer.seconds();
+  result.times.io_attempts = io.attempts;
+  result.times.io_retries = io.retries;
+  result.times.backoff = io.backoff_seconds;
 
   result.path = path.string();
   result.file_bytes = encoded.size();
@@ -196,31 +202,40 @@ ReadResult FragmentStore::read(const CoordBuffer& queries) const {
   result.fragments_visited = hits.size();
 
   // Per fragment: resolve through the cache, search, collect <query, value>
-  // (lines 6-11) — one independent worker per fragment.
+  // (lines 6-11) — one independent worker per fragment. Under kSkip a
+  // fragment that fails to load or decode is dropped and reported instead
+  // of failing the whole query.
   std::vector<Partial> partials(hits.size());
   parallel_for_each(
       hits.size(),
       [&](std::size_t i) {
         Partial& partial = partials[i];
-        const FragmentCache::Lookup lookup =
-            cache_->get(hits[i]->path.string(), model_);
-        partial.extract = lookup.load_seconds;
-        partial.cache_hit = lookup.hit;
+        try {
+          const FragmentCache::Lookup lookup =
+              cache_->get(hits[i]->path.string(), model_);
+          partial.extract = lookup.load_seconds;
+          partial.cache_hit = lookup.hit;
 
-        // Organization-specific existence search (line 9).
-        WallTimer search_timer;
-        const OpenFragment& fragment = *lookup.fragment;
-        const std::vector<std::size_t> slots =
-            fragment.format->read(queries);
-        for (std::size_t q = 0; q < slots.size(); ++q) {
-          if (slots[q] != kNotFound) {
-            detail::require(slots[q] < fragment.values.size(),
-                            "format returned slot beyond value buffer");
-            partial.found_query.push_back(q);
-            partial.found_values.push_back(fragment.values[slots[q]]);
+          // Organization-specific existence search (line 9).
+          WallTimer search_timer;
+          const OpenFragment& fragment = *lookup.fragment;
+          const std::vector<std::size_t> slots =
+              fragment.format->read(queries);
+          for (std::size_t q = 0; q < slots.size(); ++q) {
+            if (slots[q] != kNotFound) {
+              detail::require(slots[q] < fragment.values.size(),
+                              "format returned slot beyond value buffer");
+              partial.found_query.push_back(q);
+              partial.found_values.push_back(fragment.values[slots[q]]);
+            }
           }
+          partial.query = search_timer.seconds();
+        } catch (const Error& e) {
+          if (read_fault_policy_ == ReadFaultPolicy::kStrict) throw;
+          partial = Partial{};
+          partial.skipped = true;
+          partial.skip_error = e.what();
         }
-        partial.query = search_timer.seconds();
       },
       0, kFragmentGrain);
 
@@ -228,7 +243,13 @@ ReadResult FragmentStore::read(const CoordBuffer& queries) const {
   // concatenation order — then sort by linear address (lines 12-13).
   std::vector<std::size_t> found_query;
   std::vector<value_t> found_value;
-  for (const Partial& partial : partials) {
+  for (std::size_t i = 0; i < partials.size(); ++i) {
+    const Partial& partial = partials[i];
+    if (partial.skipped) {
+      result.skipped.push_back(
+          SkippedFragment{hits[i]->path.string(), partial.skip_error});
+      continue;
+    }
     result.times.extract += partial.extract;
     result.times.query += partial.query;
     ++(partial.cache_hit ? result.times.cache_hits
@@ -294,34 +315,47 @@ ReadResult FragmentStore::scan_region_where(const Box& region,
       [&](std::size_t i) {
         Partial& partial = partials[i];
         partial.found_coords = CoordBuffer(shape_.rank());
-        const FragmentCache::Lookup lookup =
-            cache_->get(hits[i]->path.string(), model_);
-        partial.extract = lookup.load_seconds;
-        partial.cache_hit = lookup.hit;
+        try {
+          const FragmentCache::Lookup lookup =
+              cache_->get(hits[i]->path.string(), model_);
+          partial.extract = lookup.load_seconds;
+          partial.cache_hit = lookup.hit;
 
-        WallTimer scan_timer;
-        const OpenFragment& fragment = *lookup.fragment;
-        std::vector<std::size_t> slots;
-        CoordBuffer scanned(shape_.rank());
-        fragment.format->scan_box(region, scanned, slots);
-        detail::require(scanned.size() == slots.size(),
-                        "scan_box points/slots length mismatch");
-        for (std::size_t k = 0; k < slots.size(); ++k) {
-          detail::require(slots[k] < fragment.values.size(),
-                          "format returned slot beyond value buffer");
-          const value_t value = fragment.values[slots[k]];
-          if (range.matches(value)) {
-            partial.found_coords.append(scanned.point(k));
-            partial.found_values.push_back(value);
+          WallTimer scan_timer;
+          const OpenFragment& fragment = *lookup.fragment;
+          std::vector<std::size_t> slots;
+          CoordBuffer scanned(shape_.rank());
+          fragment.format->scan_box(region, scanned, slots);
+          detail::require(scanned.size() == slots.size(),
+                          "scan_box points/slots length mismatch");
+          for (std::size_t k = 0; k < slots.size(); ++k) {
+            detail::require(slots[k] < fragment.values.size(),
+                            "format returned slot beyond value buffer");
+            const value_t value = fragment.values[slots[k]];
+            if (range.matches(value)) {
+              partial.found_coords.append(scanned.point(k));
+              partial.found_values.push_back(value);
+            }
           }
+          partial.query = scan_timer.seconds();
+        } catch (const Error& e) {
+          if (read_fault_policy_ == ReadFaultPolicy::kStrict) throw;
+          partial = Partial{};
+          partial.skipped = true;
+          partial.skip_error = e.what();
         }
-        partial.query = scan_timer.seconds();
       },
       0, kFragmentGrain);
 
   CoordBuffer found(shape_.rank());
   std::vector<value_t> values;
-  for (const Partial& partial : partials) {
+  for (std::size_t i = 0; i < partials.size(); ++i) {
+    const Partial& partial = partials[i];
+    if (partial.skipped) {
+      result.skipped.push_back(
+          SkippedFragment{hits[i]->path.string(), partial.skip_error});
+      continue;
+    }
     result.times.extract += partial.extract;
     result.times.query += partial.query;
     ++(partial.cache_hit ? result.times.cache_hits
@@ -420,15 +454,48 @@ void FragmentStore::rescan() {
   fragments_.clear();
   rtree_dirty_ = true;
   next_id_ = 0;
+  last_scan_ = ScanReport{};
   std::vector<std::filesystem::path> paths;
   for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
-    if (entry.is_regular_file() && entry.path().extension() == ".asf") {
-      paths.push_back(entry.path());
+    if (!entry.is_regular_file()) continue;
+    const std::filesystem::path& path = entry.path();
+    if (path.extension() == ".asf") {
+      paths.push_back(path);
+    } else if (path.extension() == kTmpSuffix) {
+      // Orphaned stage file from a crashed commit: never renamed, so never
+      // part of the committed fragment set. Sweep it.
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+      last_scan_.swept_tmp.push_back(path.string());
+    } else {
+      // Stray non-fragment file (quarantined fragments land here too).
+      // Ignored, but logged so operators and fsck can see it.
+      last_scan_.ignored.push_back(path.string());
     }
   }
   std::sort(paths.begin(), paths.end());
   for (const auto& path : paths) {
-    const Bytes raw = read_file(path.string());
+    // Gate every fragment through the check subsystem at header depth
+    // (header parse + payload checksum); a torn or bit-rotted file is
+    // quarantined instead of loaded, so one bad fragment can no longer
+    // make the whole store unopenable.
+    Bytes raw;
+    check::Issues issues;
+    try {
+      raw = read_file(path.string());
+    } catch (const Error& e) {
+      issues.add("fragment.io", e.what());
+    }
+    if (issues.ok()) {
+      check::check_fragment_bytes(raw, check::Depth::kHeader, issues);
+    }
+    if (!issues.ok()) {
+      const std::filesystem::path aside = path.string() + kQuarantineSuffix;
+      std::error_code ec;
+      std::filesystem::rename(path, aside, ec);
+      last_scan_.quarantined.push_back(path.string());
+      continue;
+    }
     const FragmentInfo info = decode_fragment_info(raw);
     detail::require(info.shape == shape_,
                     "fragment shape does not match store shape: " +

@@ -24,6 +24,7 @@
 #include "core/types.hpp"
 #include "storage/compress/codec.hpp"
 #include "storage/fragment_cache.hpp"
+#include "storage/retry.hpp"
 #include "storage/rtree.hpp"
 #include "storage/throttle.hpp"
 
@@ -38,13 +39,39 @@ struct WriteResult {
   WriteBreakdown times;
 };
 
+/// What the read fan-out does when one fragment fails to load or decode.
+enum class ReadFaultPolicy {
+  kStrict,  ///< propagate the error (default; today's behavior)
+  kSkip,    ///< drop the fragment, report it in ReadResult::skipped
+};
+
+/// One fragment a kSkip read dropped, with the error that disqualified it.
+struct SkippedFragment {
+  std::string path;
+  std::string error;
+};
+
 /// Outcome of one READ (Algorithm 3 lines 1-15): the found points, sorted
 /// by ascending linear address within the store's tensor shape.
 struct ReadResult {
   CoordBuffer coords;
   std::vector<value_t> values;
   std::size_t fragments_visited = 0;
+  /// Fragments dropped under ReadFaultPolicy::kSkip (always empty under
+  /// kStrict — those reads throw instead).
+  std::vector<SkippedFragment> skipped;
   ReadBreakdown times;
+};
+
+/// What open()/rescan() found and fixed while sweeping the directory.
+struct ScanReport {
+  std::vector<std::string> swept_tmp;   ///< orphaned .tmp files removed
+  std::vector<std::string> quarantined; ///< corrupt .asf renamed aside
+  std::vector<std::string> ignored;     ///< stray non-fragment files
+
+  bool clean() const {
+    return swept_tmp.empty() && quarantined.empty() && ignored.empty();
+  }
 };
 
 /// Inclusive value interval for predicate reads. Defaults accept anything.
@@ -86,7 +113,9 @@ class FragmentStore {
                 std::shared_ptr<FragmentCache> cache = nullptr);
 
   /// Algorithm 3 WRITE: builds `org`'s index over `coords`, reorganizes
-  /// `values` by the build map, concatenates, and writes one fragment.
+  /// `values` by the build map, concatenates, and commits one fragment
+  /// crash-consistently (stage at <name>.asf.tmp, fsync, rename, fsync the
+  /// directory), retrying transient I/O errors per retry_policy().
   WriteResult write(const CoordBuffer& coords,
                     std::span<const value_t> values, OrgKind org);
 
@@ -119,8 +148,29 @@ class FragmentStore {
   WriteResult consolidate(std::optional<OrgKind> org = std::nullopt);
 
   /// Re-scans the directory, picking up fragments written by other store
-  /// instances (header-only reads).
+  /// instances. Recovery sweep: orphaned *.tmp files (crashed commits) are
+  /// removed, and fragments failing the check subsystem's header-depth
+  /// validation (torn writes, bit rot) are renamed to *.asf.quarantine and
+  /// not loaded. Stray non-fragment files are ignored. Everything swept is
+  /// reported in last_scan().
   void rescan();
+
+  /// What the most recent open()/rescan() swept, quarantined, or ignored.
+  const ScanReport& last_scan() const { return last_scan_; }
+
+  /// Retry schedule for transient I/O errors on the commit path.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// How reads treat a fragment that fails to load: kStrict (default)
+  /// throws; kSkip drops it and reports it in ReadResult::skipped, so one
+  /// corrupt fragment cannot take down a whole multi-fragment query.
+  /// consolidate() is always strict — merging must never silently drop
+  /// data before deleting the source fragments.
+  void set_read_fault_policy(ReadFaultPolicy policy) {
+    read_fault_policy_ = policy;
+  }
+  ReadFaultPolicy read_fault_policy() const { return read_fault_policy_; }
 
   /// Deletes every fragment file and forgets them.
   void clear();
@@ -164,6 +214,9 @@ class FragmentStore {
   DeviceModel model_;
   CodecKind codec_;
   std::shared_ptr<FragmentCache> cache_;
+  RetryPolicy retry_;
+  ReadFaultPolicy read_fault_policy_ = ReadFaultPolicy::kStrict;
+  ScanReport last_scan_;
   std::vector<Entry> fragments_;
   std::size_t next_id_ = 0;
   /// Lazily (re)built spatial index; mutable because discovery is

@@ -1,0 +1,52 @@
+#include "storage/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace artsparse {
+
+double RetryPolicy::delay_seconds(std::size_t attempt) const {
+  if (attempt == 0 || base_delay_sec <= 0.0) return 0.0;
+  // min(cap, base * 2^(attempt-1)), computed without overflow: once the
+  // doubling passes the cap it can only stay there.
+  double delay = base_delay_sec;
+  for (std::size_t k = 1; k < attempt && delay < cap_delay_sec; ++k) {
+    delay *= 2.0;
+  }
+  delay = std::min(delay, cap_delay_sec);
+  if (jitter > 0.0) {
+    SplitMix64 rng(seed + attempt);
+    const double unit =
+        static_cast<double>(rng.next() >> 11) / 9007199254740992.0;  // 2^53
+    delay *= 1.0 + jitter * (unit - 0.5);
+  }
+  return delay;
+}
+
+RetryStats retry_io(const RetryPolicy& policy,
+                    const std::function<void()>& fn) {
+  RetryStats stats;
+  const std::size_t max_attempts =
+      std::max<std::size_t>(policy.max_attempts, 1);
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      fn();
+      stats.attempts = attempt;
+      stats.retries = attempt - 1;
+      return stats;
+    } catch (const IoError& e) {
+      if (!e.retryable() || attempt >= max_attempts) throw;
+      const double delay = policy.delay_seconds(attempt);
+      if (delay > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+        stats.backoff_seconds += delay;
+      }
+    }
+  }
+}
+
+}  // namespace artsparse

@@ -1,0 +1,47 @@
+// Retry with exponential backoff + deterministic jitter for transient I/O
+// failures. A parallel filesystem under load returns EINTR/EAGAIN (and
+// transient ENOSPC while quota grants flush) routinely; the commit path
+// retries those per a RetryPolicy instead of surfacing them to callers.
+// Non-retryable errnos (EIO, EACCES, ...) and the fault injector's
+// CrashFault sentinel always propagate immediately.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace artsparse {
+
+/// Backoff schedule: attempt k (1-based) that fails sleeps
+/// min(cap, base * 2^(k-1)) scaled by a deterministic jitter factor in
+/// [1 - jitter/2, 1 + jitter/2], derived from `seed` and k via SplitMix64.
+struct RetryPolicy {
+  std::size_t max_attempts = 4;   ///< total tries, including the first
+  double base_delay_sec = 0.001;  ///< backoff after the first failure
+  double cap_delay_sec = 0.100;   ///< exponential growth clamps here
+  double jitter = 0.5;            ///< +/- half this fraction of the delay
+  std::uint64_t seed = 0x415350u; ///< jitter stream; fixed => reproducible
+
+  /// No retries: fail on the first error.
+  static RetryPolicy none() { return RetryPolicy{1, 0.0, 0.0, 0.0, 0}; }
+
+  /// Backoff to sleep after failed attempt `attempt` (1-based). Always in
+  /// [0, cap_delay_sec * (1 + jitter / 2)].
+  double delay_seconds(std::size_t attempt) const;
+};
+
+/// What a retried operation cost.
+struct RetryStats {
+  std::size_t attempts = 1;     ///< tries made (1 = first try succeeded)
+  std::size_t retries = 0;      ///< attempts - 1
+  double backoff_seconds = 0.0; ///< total time slept between attempts
+};
+
+/// Runs `fn` up to `policy.max_attempts` times. A retryable IoError (see
+/// io_errno_retryable) sleeps the backoff and tries again; any other
+/// exception — and the last retryable error once attempts are exhausted —
+/// propagates to the caller unchanged.
+RetryStats retry_io(const RetryPolicy& policy,
+                    const std::function<void()>& fn);
+
+}  // namespace artsparse

@@ -53,6 +53,9 @@ TiledWriteResult TiledStore::write(const CoordBuffer& coords,
     result.times.reorg += written.times.reorg;
     result.times.write += written.times.write;
     result.times.others += written.times.others;
+    result.times.io_attempts += written.times.io_attempts;
+    result.times.io_retries += written.times.io_retries;
+    result.times.backoff += written.times.backoff;
     result.tile_orgs[tile] = org;
   }
   return result;

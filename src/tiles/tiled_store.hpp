@@ -79,6 +79,26 @@ class TiledStore {
   std::size_t fragment_count() const { return store_.fragment_count(); }
   std::size_t total_file_bytes() const { return store_.total_file_bytes(); }
 
+  /// Commit retry schedule, forwarded to the inner store (see
+  /// FragmentStore::set_retry_policy). Per-tile attempt/retry counters are
+  /// summed into TiledWriteResult::times.
+  void set_retry_policy(const RetryPolicy& policy) {
+    store_.set_retry_policy(policy);
+  }
+  const RetryPolicy& retry_policy() const { return store_.retry_policy(); }
+
+  /// Read-side degradation policy, forwarded to the inner store (see
+  /// FragmentStore::set_read_fault_policy).
+  void set_read_fault_policy(ReadFaultPolicy policy) {
+    store_.set_read_fault_policy(policy);
+  }
+  ReadFaultPolicy read_fault_policy() const {
+    return store_.read_fault_policy();
+  }
+
+  /// Recovery sweep results of the inner store's last open()/rescan().
+  const ScanReport& last_scan() const { return store_.last_scan(); }
+
   /// The open-fragment cache tiled reads resolve through.
   FragmentCache& cache() const { return store_.cache(); }
 

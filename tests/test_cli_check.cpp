@@ -91,5 +91,40 @@ TEST(CliCheck, MissingStoreAndBadDepthFail) {
   fs::remove_all(dir);
 }
 
+TEST(CliCheck, RepairSweepsOrphansAndQuarantinesThenCheckIsClean) {
+  const fs::path dir = make_clean_store("repair");
+  // A crashed commit's stage file plus one torn fragment.
+  write_file((dir / "frag_000031.asf.tmp").string(),
+             testing::corrupt_truncated());
+  write_file((dir / "frag_000032.asf").string(),
+             testing::corrupt_truncated());
+  EXPECT_NE(run_cli("check --store " + dir.string()), 0);
+
+  EXPECT_EQ(run_cli("repair --store " + dir.string()), 0);
+  EXPECT_FALSE(fs::exists(dir / "frag_000031.asf.tmp"));
+  EXPECT_FALSE(fs::exists(dir / "frag_000032.asf"));
+  EXPECT_TRUE(fs::exists(dir / "frag_000032.asf.quarantine"));
+  EXPECT_EQ(run_cli("check --store " + dir.string() + " --depth full"), 0);
+  fs::remove_all(dir);
+}
+
+TEST(CliCheck, ReadPolicySkipDegradesWhereStrictFails) {
+  const fs::path dir = make_clean_store("readpolicy");
+  // CRC-valid structural corruption: passes the open-time header sweep but
+  // fails the hardened loader mid-read.
+  write_file(a_fragment_of(dir), testing::corrupt_nonmonotone_offsets());
+  EXPECT_NE(run_cli("read --store " + dir.string()), 0);
+  EXPECT_NE(run_cli("read --store " + dir.string() +
+                    " --read-policy strict"),
+            0);
+  EXPECT_EQ(run_cli("read --store " + dir.string() + " --read-policy skip"),
+            0);
+  EXPECT_EQ(run_cli("scan --store " + dir.string() + " --read-policy skip"),
+            0);
+  EXPECT_NE(run_cli("read --store " + dir.string() + " --read-policy bogus"),
+            0);
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace artsparse

@@ -5,13 +5,14 @@
 //   artsparse import   --store DIR --shape 512,512 --tsv points.tsv
 //                      --org linear
 //   artsparse read     --store DIR --region 10:20,30:40 [--print]
-//                      [--cache-bytes 64M]
+//                      [--cache-bytes 64M] [--read-policy strict|skip]
 //   artsparse scan     --store DIR --region 10:20,30:40 [--print]
-//                      [--cache-bytes 64M]
+//                      [--cache-bytes 64M] [--read-policy strict|skip]
 //   artsparse info     --store DIR
 //   artsparse advise   --store DIR [--weights balanced|read|archive]
 //   artsparse consolidate --store DIR [--org ORG]
 //   artsparse export   --store DIR --tsv out.tsv
+//   artsparse repair   --store DIR [--depth header|structure|full]
 //
 // Every command prints a one-line summary; data-carrying commands accept
 // --print to dump points.
@@ -29,14 +30,15 @@ int usage() {
       "            --store DIR [--org ORG] [--tile S] [--codec none|dv]\n"
       "  import    --store DIR --shape S --tsv FILE [--org ORG]\n"
       "  read      --store DIR --region lo:hi,... [--print]\n"
-      "            [--cache-bytes N[K|M|G]]\n"
+      "            [--cache-bytes N[K|M|G]] [--read-policy strict|skip]\n"
       "  scan      --store DIR --region lo:hi,... [--print]\n"
-      "            [--cache-bytes N[K|M|G]]\n"
+      "            [--cache-bytes N[K|M|G]] [--read-policy strict|skip]\n"
       "  info      --store DIR\n"
       "  advise    --store DIR [--weights balanced|read|archive]\n"
       "  consolidate --store DIR [--org ORG]\n"
       "  export    --store DIR --tsv FILE\n"
-      "  check     --store DIR [--depth header|structure|full] [--json]\n",
+      "  check     --store DIR [--depth header|structure|full] [--json]\n"
+      "  repair    --store DIR [--depth header|structure|full]\n",
       stderr);
   return 2;
 }
@@ -131,6 +133,13 @@ int cmd_import(const Args& args) {
   return 0;
 }
 
+ReadFaultPolicy parse_read_policy(const std::string& name) {
+  if (name.empty() || name == "strict") return ReadFaultPolicy::kStrict;
+  if (name == "skip") return ReadFaultPolicy::kSkip;
+  throw FormatError("unknown read policy: " + name +
+                    " (expected strict or skip)");
+}
+
 int cmd_read(const Args& args, bool scan) {
   const std::string dir = args.get("store");
   detail::require(!dir.empty(), "--store is required");
@@ -140,6 +149,7 @@ int cmd_read(const Args& args, bool scan) {
                               : FragmentCache::budget_from_env());
   FragmentStore store(dir, shape, DeviceModel::unthrottled(),
                       CodecKind::kIdentity, cache);
+  store.set_read_fault_policy(parse_read_policy(args.get("read-policy")));
   const Box region = args.has("region") ? parse_region(args.get("region"))
                                         : Box::whole(shape);
   const ReadResult result =
@@ -151,6 +161,15 @@ int cmd_read(const Args& args, bool scan) {
               result.times.total(), result.times.discover,
               result.times.extract, result.times.query, result.times.merge);
   std::printf("%s\n", format_cache_stats(cache->stats()).c_str());
+  for (const SkippedFragment& skipped : result.skipped) {
+    std::printf("skipped %s: %s\n", skipped.path.c_str(),
+                skipped.error.c_str());
+  }
+  if (!result.skipped.empty()) {
+    std::printf("answered from %zu of %zu fragments (%zu skipped)\n",
+                result.fragments_visited - result.skipped.size(),
+                result.fragments_visited, result.skipped.size());
+  }
   if (args.has("print")) print_points(result);
   return 0;
 }
@@ -246,11 +265,39 @@ int cmd_check(const Args& args) {
                     issue.rule.c_str(), issue.detail.c_str());
       }
     }
-    std::printf("checked %zu fragments at depth %s: %zu ok, %zu corrupt\n",
+    for (const std::string& stray : report.strays) {
+      std::printf("%s: stray non-fragment file\n", stray.c_str());
+    }
+    std::printf("checked %zu fragments at depth %s: %zu ok, %zu corrupt, "
+                "%zu strays\n",
                 report.checked(), check::to_string(depth).c_str(),
-                report.checked() - report.failed(), report.failed());
+                report.checked() - report.failed(), report.failed(),
+                report.strays.size());
   }
   return report.ok() ? 0 : 1;
+}
+
+int cmd_repair(const Args& args) {
+  const std::string dir = args.get("store");
+  detail::require(!dir.empty(), "--store is required");
+  const check::Depth depth =
+      check::depth_from_string(args.get("depth", "header"));
+  const check::RepairReport report = check::repair_store(dir, depth);
+  for (const std::string& path : report.swept_tmp) {
+    std::printf("swept %s\n", path.c_str());
+  }
+  for (const std::string& path : report.quarantined) {
+    std::printf("quarantined %s\n", path.c_str());
+  }
+  for (const std::string& path : report.strays) {
+    std::printf("stray %s\n", path.c_str());
+  }
+  std::printf("repaired %s at depth %s: %zu fragments checked, %zu "
+              "orphaned tmp swept, %zu quarantined, %zu strays\n",
+              report.directory.c_str(), check::to_string(depth).c_str(),
+              report.checked, report.swept_tmp.size(),
+              report.quarantined.size(), report.strays.size());
+  return 0;
 }
 
 int run(int argc, char** argv) {
@@ -264,6 +311,7 @@ int run(int argc, char** argv) {
   if (args.command == "consolidate") return cmd_consolidate(args);
   if (args.command == "export") return cmd_export(args);
   if (args.command == "check") return cmd_check(args);
+  if (args.command == "repair") return cmd_repair(args);
   return usage();
 }
 

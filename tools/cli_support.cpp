@@ -198,14 +198,25 @@ std::pair<CoordBuffer, std::vector<value_t>> read_tsv(
 }
 
 Shape store_shape(const std::string& directory) {
+  // Sorted walk for determinism; a fragment whose header will not decode
+  // (torn write, bit rot) is skipped so one corrupt file cannot stop the
+  // CLI from discovering the store shape from its healthy siblings.
+  std::vector<std::filesystem::path> paths;
   for (const auto& entry :
        std::filesystem::directory_iterator(directory)) {
     if (entry.is_regular_file() && entry.path().extension() == ".asf") {
-      const Bytes raw = read_file(entry.path().string());
-      return decode_fragment_info(raw).shape;
+      paths.push_back(entry.path());
     }
   }
-  throw FormatError("no fragments found in " + directory);
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    try {
+      return decode_fragment_info(read_file(path.string())).shape;
+    } catch (const Error&) {
+      continue;
+    }
+  }
+  throw FormatError("no readable fragments found in " + directory);
 }
 
 }  // namespace artsparse::cli
