@@ -52,6 +52,24 @@ inline void emit_csv(const TextTable& table, const std::string& name) {
   }
 }
 
+/// Writes the measurements as ./bench_results/<name>.json (best effort):
+/// the full per-run record including retry/backoff and cache counters that
+/// the CSV's fixed columns elide.
+inline void emit_json(const std::vector<Measurement>& measurements,
+                      const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (ec) return;
+  try {
+    write_json_report(
+        std::filesystem::path("bench_results") / (name + ".json"),
+        measurements);
+    std::printf("(JSON written to bench_results/%s.json)\n", name.c_str());
+  } catch (const Error&) {
+    // JSON emission is a convenience; the table already went to stdout.
+  }
+}
+
 /// True when any measurement failed verification (non-zero exit for CI).
 inline bool any_unverified(const std::vector<Measurement>& measurements) {
   for (const Measurement& m : measurements) {

@@ -68,5 +68,6 @@ int main(int argc, char** argv) {
               n_cells, linear_beats_coo, gcsr_beats_gcsc,
               fast_orgs_beat_sorters);
   bench::emit_csv(table, "fig3_write_time");
+  bench::emit_json(measurements, "fig3_write_time");
   return bench::any_unverified(measurements) ? 1 : 0;
 }

@@ -55,5 +55,6 @@ int main(int argc, char** argv) {
                   ? "OK"
                   : "UNEXPECTED");
   bench::emit_csv(table, "table3_breakdown");
+  bench::emit_json(measurements, "table3_breakdown");
   return bench::any_unverified(measurements) ? 1 : 0;
 }

@@ -7,6 +7,7 @@
 
 #include "core/error.hpp"
 #include "core/linearize.hpp"
+#include "obs/metrics.hpp"
 
 namespace artsparse {
 
@@ -89,6 +90,12 @@ Measurement run_dataset(const SparseDataset& dataset, const Box& read_region,
       }
     }
     m.found_count = read.values.size();
+    m.cache = store.cache().stats();
+
+    ARTSPARSE_OBSERVE_L("artsparse_bench_write_ns", "org", to_string(org),
+                        m.write_times.total() * 1e9);
+    ARTSPARSE_OBSERVE_L("artsparse_bench_read_ns", "org", to_string(org),
+                        m.read_times.total() * 1e9);
 
     m.verified = !options.verify || verify_read(dataset, read_region, read);
     store.clear();

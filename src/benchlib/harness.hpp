@@ -28,6 +28,10 @@ struct Measurement {
   std::size_t file_bytes = 0;      ///< Fig. 4
   std::size_t index_bytes = 0;
 
+  /// Open-fragment cache counters for this run's store, sampled after the
+  /// measured reads (before the store is cleared).
+  CacheStats cache;
+
   bool verified = false;  ///< read results matched the dataset exactly
 };
 

@@ -9,6 +9,8 @@
 #include <sstream>
 
 #include "core/error.hpp"
+#include "obs/export.hpp"
+#include "patterns/pattern.hpp"
 
 namespace artsparse {
 
@@ -215,6 +217,75 @@ std::string format_cache_stats(const CacheStats& stats) {
                 format_bytes(stats.open_bytes).c_str(),
                 format_bytes(stats.budget_bytes).c_str());
   return buf;
+}
+
+namespace {
+
+/// Shortest float form that round-trips well enough for reports.
+std::string json_number(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string measurements_to_json(const std::vector<Measurement>& grid) {
+  std::ostringstream out;
+  out << "{\n  \"measurements\": [";
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const Measurement& m = grid[i];
+    if (i != 0) out << ',';
+    out << "\n    {";
+    out << "\"workload\": \"" << obs::json_escape(m.workload) << "\", ";
+    out << "\"rank\": " << m.rank << ", ";
+    out << "\"pattern\": \"" << obs::json_escape(to_string(m.pattern))
+        << "\", ";
+    out << "\"org\": \"" << obs::json_escape(to_string(m.org)) << "\", ";
+    out << "\"points\": " << m.point_count << ", ";
+    out << "\"queries\": " << m.query_count << ", ";
+    out << "\"found\": " << m.found_count << ", ";
+    out << "\"file_bytes\": " << m.file_bytes << ", ";
+    out << "\"index_bytes\": " << m.index_bytes << ", ";
+    out << "\"verified\": " << (m.verified ? "true" : "false") << ",\n";
+    out << "     \"write\": {"
+        << "\"build_sec\": " << json_number(m.write_times.build) << ", "
+        << "\"reorg_sec\": " << json_number(m.write_times.reorg) << ", "
+        << "\"others_sec\": " << json_number(m.write_times.others) << ", "
+        << "\"write_sec\": " << json_number(m.write_times.write) << ", "
+        << "\"total_sec\": " << json_number(m.write_times.total()) << ", "
+        << "\"io_attempts\": " << m.write_times.io_attempts << ", "
+        << "\"io_retries\": " << m.write_times.io_retries << ", "
+        << "\"backoff_sec\": " << json_number(m.write_times.backoff)
+        << "},\n";
+    out << "     \"read\": {"
+        << "\"discover_sec\": " << json_number(m.read_times.discover) << ", "
+        << "\"extract_sec\": " << json_number(m.read_times.extract) << ", "
+        << "\"query_sec\": " << json_number(m.read_times.query) << ", "
+        << "\"merge_sec\": " << json_number(m.read_times.merge) << ", "
+        << "\"total_sec\": " << json_number(m.read_times.total()) << ", "
+        << "\"cache_hits\": " << m.read_times.cache_hits << ", "
+        << "\"cache_misses\": " << m.read_times.cache_misses << "},\n";
+    out << "     \"cache\": {"
+        << "\"hits\": " << m.cache.hits << ", "
+        << "\"misses\": " << m.cache.misses << ", "
+        << "\"evictions\": " << m.cache.evictions << ", "
+        << "\"invalidations\": " << m.cache.invalidations << ", "
+        << "\"open_count\": " << m.cache.open_count << ", "
+        << "\"open_bytes\": " << m.cache.open_bytes << ", "
+        << "\"budget_bytes\": " << m.cache.budget_bytes << "}}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+void write_json_report(const std::filesystem::path& path,
+                       const std::vector<Measurement>& grid) {
+  std::ofstream out(path);
+  if (!out) {
+    throw IoError("cannot open JSON output: " + path.string());
+  }
+  out << measurements_to_json(grid);
 }
 
 }  // namespace artsparse

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "benchlib/harness.hpp"
 #include "storage/fragment_cache.hpp"
 
 namespace artsparse {
@@ -57,5 +58,15 @@ std::string format_fixed(double value, int decimals);
 /// "cache: 12 hits / 4 misses (75.00% hit rate), 1 evictions, 4 open
 /// (1.25 MiB of 256.00 MiB)".
 std::string format_cache_stats(const CacheStats& stats);
+
+/// Serializes a measurement grid as a JSON document:
+/// {"measurements": [{workload, org, write: {..., io_attempts, io_retries,
+/// backoff_sec}, read: {...}, cache: {...}, ...}]}. Every quantity the CSV
+/// emits plus the retry/backoff and cache counters, machine-readable.
+std::string measurements_to_json(const std::vector<Measurement>& grid);
+
+/// Writes measurements_to_json() to `path`.
+void write_json_report(const std::filesystem::path& path,
+                       const std::vector<Measurement>& grid);
 
 }  // namespace artsparse

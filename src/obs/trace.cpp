@@ -1,0 +1,159 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace artsparse::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::uint64_t next_span_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint32_t this_thread_ordinal() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+/// The innermost open span on this thread; children parent under it.
+thread_local std::uint64_t t_current_span = 0;
+
+}  // namespace
+
+std::uint64_t trace_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+TraceBuffer& TraceBuffer::global() {
+  static TraceBuffer* instance = [] {
+    auto* buffer = new TraceBuffer();  // never dies
+    if (const char* env = std::getenv("ARTSPARSE_TRACE_CAPACITY")) {
+      char* end = nullptr;
+      const unsigned long long capacity = std::strtoull(env, &end, 10);
+      if (end != env && capacity > 0) {
+        buffer->set_capacity(static_cast<std::size_t>(capacity));
+      }
+    }
+    if (const char* env = std::getenv("ARTSPARSE_TRACE")) {
+      if (env[0] != '\0' && env[0] != '0') {
+        buffer->set_enabled(true);
+      }
+    }
+    return buffer;
+  }();
+  return *instance;
+}
+
+void TraceBuffer::set_capacity(std::size_t capacity) {
+  const std::scoped_lock lock(mutex_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  next_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+}
+
+std::size_t TraceBuffer::capacity() const {
+  const std::scoped_lock lock(mutex_);
+  return capacity_;
+}
+
+void TraceBuffer::record(SpanRecord&& record) {
+  const std::scoped_lock lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  ring_[next_] = std::move(record);
+  next_ = (next_ + 1) % capacity_;
+  wrapped_ = true;
+  ++dropped_;
+}
+
+std::vector<SpanRecord> TraceBuffer::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  if (wrapped_) {
+    // next_ is the oldest retained slot once the ring has lapped.
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % ring_.size()]);
+    }
+  } else {
+    out = ring_;
+  }
+  return out;
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  const std::scoped_lock lock(mutex_);
+  return dropped_;
+}
+
+void TraceBuffer::clear() {
+  const std::scoped_lock lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+}
+
+Span::Span(const char* name, const char* category) {
+  TraceBuffer& buffer = TraceBuffer::global();
+  if (!buffer.enabled()) return;
+  live_ = true;
+  record_.name = name;
+  record_.category = category;
+  record_.id = next_span_id();
+  record_.parent = t_current_span;
+  record_.thread = this_thread_ordinal();
+  record_.start_ns = trace_now_ns();
+  t_current_span = record_.id;
+}
+
+Span::~Span() { end(); }
+
+void Span::attr(std::string key, std::string value) {
+  if (!live_) return;
+  record_.attrs.emplace_back(std::move(key), std::move(value));
+}
+
+void Span::attr(std::string key, std::uint64_t value) {
+  if (!live_) return;
+  record_.attrs.emplace_back(std::move(key), std::to_string(value));
+}
+
+void Span::attr(std::string key, double value) {
+  if (!live_) return;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  record_.attrs.emplace_back(std::move(key), buf);
+}
+
+void Span::end() {
+  if (!live_) return;
+  live_ = false;
+  record_.duration_ns = trace_now_ns() - record_.start_ns;
+  // Pop this span off the thread's nesting stack. Spans destruct in
+  // reverse construction order within a thread, so the current span is
+  // this one unless a sibling already closed (explicit end() out of
+  // order); restoring the parent is correct either way.
+  t_current_span = record_.parent;
+  TraceBuffer::global().record(std::move(record_));
+}
+
+}  // namespace artsparse::obs

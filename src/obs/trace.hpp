@@ -1,0 +1,146 @@
+// Hot-path tracing: RAII spans with parent/child nesting and per-span
+// attributes, recorded into a bounded ring buffer. A span covers one
+// phase of work (store.write -> write.encode -> commit.fsync -> ...);
+// nesting comes from a thread-local current-span pointer, so the
+// parent/child tree mirrors the call stack with zero coordination.
+//
+// Cost model: tracing is OFF by default. A span constructed while tracing
+// is off is one relaxed atomic load and nothing else — no clock read, no
+// allocation — so spans stay in place on production paths. Turn recording
+// on per process with TraceBuffer::global().set_enabled(true), the
+// ARTSPARSE_TRACE=1 environment variable, or `artsparse_cli metrics
+// --trace FILE`. The ring holds the most recent spans (default 65536,
+// ARTSPARSE_TRACE_CAPACITY overrides); old spans are overwritten, never
+// reallocated, so a hot loop cannot grow memory without bound.
+//
+// Exporters (obs/export.hpp): Chrome trace_event JSON for about://tracing
+// and a flat indented text dump.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace artsparse::obs {
+
+/// One finished span. Times are nanoseconds on the steady clock, relative
+/// to the process trace epoch, so exports are stable within a run.
+struct SpanRecord {
+  std::string name;
+  std::string category;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 = root span
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  std::uint32_t thread = 0;  ///< small per-process thread ordinal
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// Nanoseconds since the process trace epoch (steady clock).
+std::uint64_t trace_now_ns();
+
+/// Bounded ring of finished spans. Thread-safe; record() under one mutex
+/// is fine because spans close at phase granularity, not per element.
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  /// The process-wide buffer all Spans record into. On first use it arms
+  /// itself from ARTSPARSE_TRACE / ARTSPARSE_TRACE_CAPACITY when set.
+  static TraceBuffer& global();
+
+  TraceBuffer() = default;
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Replaces the ring with an empty one of `capacity` (>= 1) slots.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
+
+  void record(SpanRecord&& record);
+
+  /// The retained spans, oldest first.
+  std::vector<SpanRecord> snapshot() const;
+
+  /// Spans overwritten because the ring was full.
+  std::uint64_t dropped() const;
+
+  void clear();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::size_t next_ = 0;      ///< ring slot the next record lands in
+  bool wrapped_ = false;      ///< ring has lapped at least once
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII span. Opens on construction, records into TraceBuffer::global()
+/// on destruction (or at an explicit end() for phases that do not align
+/// with a scope). Inert — one atomic load — while tracing is disabled.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "artsparse");
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a key/value attribute (no-op on an inert span).
+  void attr(std::string key, std::string value);
+  void attr(std::string key, std::uint64_t value);
+  void attr(std::string key, double value);
+
+  /// Close the span now; the destructor becomes a no-op.
+  void end();
+
+  /// Whether this span is recording (tracing was enabled when it opened).
+  bool live() const { return live_; }
+
+ private:
+  bool live_ = false;
+  SpanRecord record_;
+};
+
+/// Drop-in stand-in the span macros expand to under
+/// ARTSPARSE_OBS_DISABLED: same surface, no code.
+struct NullSpan {
+  explicit NullSpan(const char*, const char* = "") {}
+  template <typename K, typename V>
+  void attr(K&&, V&&) {}
+  void end() {}
+  bool live() const { return false; }
+};
+
+}  // namespace artsparse::obs
+
+#if !defined(ARTSPARSE_OBS_DISABLED)
+/// The span type instrumentation declares: real spans, unless the build
+/// compiled observability out.
+#define ARTSPARSE_SPAN_TYPE ::artsparse::obs::Span
+#else
+#define ARTSPARSE_SPAN_TYPE ::artsparse::obs::NullSpan
+#endif
+
+#define ARTSPARSE_OBS_CONCAT_INNER(a, b) a##b
+#define ARTSPARSE_OBS_CONCAT(a, b) ARTSPARSE_OBS_CONCAT_INNER(a, b)
+
+/// Anonymous scope span: `ARTSPARSE_SPAN("write.build", "store");`.
+/// Use ARTSPARSE_SPAN_TYPE directly when the span needs attributes or an
+/// explicit end().
+#define ARTSPARSE_SPAN(...) \
+  ARTSPARSE_SPAN_TYPE ARTSPARSE_OBS_CONCAT(artsparse_obs_span_, \
+                                           __COUNTER__)(__VA_ARGS__)

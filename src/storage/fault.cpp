@@ -3,6 +3,8 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+
 namespace artsparse {
 
 namespace {
@@ -143,6 +145,8 @@ void FaultInjector::on_syscall(FaultOp op, const std::string& path) {
     }
   }
   if (error_number < 0) return;
+  ARTSPARSE_COUNT_L("artsparse_fault_injected_total", "op", to_string(op),
+                    1);
   const std::string site = std::string(to_string(op)) + " call #" +
                            std::to_string(call) + " on '" + path + "'";
   if (error_number == 0) {

@@ -8,6 +8,7 @@
 #include <filesystem>
 
 #include "core/error.hpp"
+#include "obs/trace.hpp"
 #include "storage/fault.hpp"
 
 namespace artsparse {
@@ -118,18 +119,28 @@ RetryStats atomic_write_file(const std::string& path,
       std::filesystem::path(path).parent_path();
   const std::string directory = parent.empty() ? "." : parent.string();
   try {
+    ARTSPARSE_SPAN_TYPE commit_span("store.commit", "store");
+    commit_span.attr("path", path);
+    commit_span.attr("bytes", static_cast<std::uint64_t>(data.size()));
     return retry_io(retry, [&] {
       {
+        ARTSPARSE_SPAN_TYPE stage_span("commit.stage", "store");
         std::unique_ptr<FileDevice> device =
             opener ? opener(staged)
                    : std::make_unique<PosixFile>(
                          staged, PosixFile::Mode::kWriteTruncate);
         device->write_all(data);
+        stage_span.end();
+        ARTSPARSE_SPAN("commit.fsync", "store");
         device->sync();
       }
       // Commit point: past the rename the new content is the file's state;
       // the directory fsync makes the new entry itself durable.
-      rename_file(staged, path);
+      {
+        ARTSPARSE_SPAN("commit.rename", "store");
+        rename_file(staged, path);
+      }
+      ARTSPARSE_SPAN("commit.dirsync", "store");
       fsync_directory(directory);
     });
   } catch (const CrashFault&) {

@@ -4,6 +4,8 @@
 
 #include "core/timer.hpp"
 #include "formats/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "storage/fragment.hpp"
 #include "storage/serializer.hpp"
 
@@ -11,6 +13,8 @@ namespace artsparse {
 
 std::shared_ptr<const OpenFragment> load_open_fragment(
     const std::string& path, const DeviceModel& model) {
+  ARTSPARSE_SPAN_TYPE span("cache.load", "cache");
+  span.attr("path", path);
   Bytes raw;
   {
     auto device = open_for_read(path, model);
@@ -48,6 +52,16 @@ std::size_t FragmentCache::budget_from_env() {
 FragmentCache::FragmentCache(std::size_t budget_bytes)
     : budget_bytes_(budget_bytes) {}
 
+FragmentCache::~FragmentCache() {
+  // Residents vanish with the cache; return their share of the live
+  // gauges so process-wide open_bytes/open_fragments stay truthful.
+  const std::scoped_lock lock(mutex_);
+  ARTSPARSE_GAUGE_ADD("artsparse_cache_open_bytes",
+                      -static_cast<std::int64_t>(open_bytes_));
+  ARTSPARSE_GAUGE_ADD("artsparse_cache_open_fragments",
+                      -static_cast<std::int64_t>(lru_.size()));
+}
+
 FragmentCache::Lookup FragmentCache::get(const std::string& path,
                                          const DeviceModel& model) {
   {
@@ -56,6 +70,7 @@ FragmentCache::Lookup FragmentCache::get(const std::string& path,
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
       ++hits_;
+      ARTSPARSE_COUNT("artsparse_cache_hits_total", 1);
       return Lookup{it->second->second, true, 0.0};
     }
   }
@@ -65,6 +80,8 @@ FragmentCache::Lookup FragmentCache::get(const std::string& path,
   std::shared_ptr<const OpenFragment> fragment =
       load_open_fragment(path, model);
   const double load_seconds = timer.seconds();
+  ARTSPARSE_COUNT("artsparse_cache_misses_total", 1);
+  ARTSPARSE_OBSERVE("artsparse_cache_load_ns", load_seconds * 1e9);
 
   const std::scoped_lock lock(mutex_);
   ++misses_;
@@ -84,14 +101,20 @@ FragmentCache::Lookup FragmentCache::get(const std::string& path,
 void FragmentCache::insert_locked(
     const std::string& path, std::shared_ptr<const OpenFragment> fragment) {
   open_bytes_ += fragment->memory_bytes;
+  ARTSPARSE_GAUGE_ADD("artsparse_cache_open_bytes", fragment->memory_bytes);
+  ARTSPARSE_GAUGE_ADD("artsparse_cache_open_fragments", 1);
   lru_.emplace_front(path, std::move(fragment));
   index_[path] = lru_.begin();
   while (open_bytes_ > budget_bytes_ && lru_.size() > 1) {
     const auto& [victim_path, victim] = lru_.back();
     open_bytes_ -= victim->memory_bytes;
+    ARTSPARSE_GAUGE_ADD("artsparse_cache_open_bytes",
+                        -static_cast<std::int64_t>(victim->memory_bytes));
+    ARTSPARSE_GAUGE_ADD("artsparse_cache_open_fragments", -1);
     index_.erase(victim_path);
     lru_.pop_back();
     ++evictions_;
+    ARTSPARSE_COUNT("artsparse_cache_evictions_total", 1);
   }
 }
 
@@ -100,14 +123,24 @@ void FragmentCache::invalidate(const std::string& path) {
   const auto it = index_.find(path);
   if (it == index_.end()) return;
   open_bytes_ -= it->second->second->memory_bytes;
+  ARTSPARSE_GAUGE_ADD(
+      "artsparse_cache_open_bytes",
+      -static_cast<std::int64_t>(it->second->second->memory_bytes));
+  ARTSPARSE_GAUGE_ADD("artsparse_cache_open_fragments", -1);
   lru_.erase(it->second);
   index_.erase(it);
   ++invalidations_;
+  ARTSPARSE_COUNT("artsparse_cache_invalidations_total", 1);
 }
 
 void FragmentCache::invalidate_all() {
   const std::scoped_lock lock(mutex_);
   invalidations_ += lru_.size();
+  ARTSPARSE_COUNT("artsparse_cache_invalidations_total", lru_.size());
+  ARTSPARSE_GAUGE_ADD("artsparse_cache_open_bytes",
+                      -static_cast<std::int64_t>(open_bytes_));
+  ARTSPARSE_GAUGE_ADD("artsparse_cache_open_fragments",
+                      -static_cast<std::int64_t>(lru_.size()));
   lru_.clear();
   index_.clear();
   open_bytes_ = 0;

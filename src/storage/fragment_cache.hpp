@@ -61,6 +61,13 @@ std::shared_ptr<const OpenFragment> load_open_fragment(
 /// Point-in-time cache counters. Cumulative counters (hits, misses,
 /// evictions, invalidations) survive invalidation; open_* describe the
 /// current residents.
+///
+/// Relationship to artsparse::obs: every event counted here is also
+/// published to the process-wide metrics registry (artsparse_cache_*), so
+/// CacheStats is this instance's view of the same stream the registry
+/// aggregates across all caches. reset_stats() zeroes only this
+/// instance's view; obs::registry().reset() zeroes only the registry's —
+/// the two are independent cursors over one event stream.
 struct CacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;          ///< fragments loaded from disk
@@ -84,6 +91,10 @@ class FragmentCache {
   static std::size_t budget_from_env();
 
   explicit FragmentCache(std::size_t budget_bytes = budget_from_env());
+
+  /// Releases the residents' share of the process-wide obs gauges
+  /// (artsparse_cache_open_bytes / _open_fragments).
+  ~FragmentCache();
 
   /// One resolution through the cache.
   struct Lookup {

@@ -12,6 +12,8 @@
 #include "core/parallel.hpp"
 #include "core/sort.hpp"
 #include "formats/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "storage/fragment.hpp"
 
 namespace artsparse {
@@ -70,16 +72,25 @@ WriteResult FragmentStore::write(const CoordBuffer& coords,
   WriteResult result;
   result.point_count = coords.size();
 
+  ARTSPARSE_SPAN_TYPE write_span("store.write", "store");
+  write_span.attr("org", std::string(to_string(org)));
+  write_span.attr("points", static_cast<std::uint64_t>(coords.size()));
+
   // Build the organization (Algorithm 3 line 4).
   WallTimer timer;
+  ARTSPARSE_SPAN_TYPE build_span("write.build", "store");
   auto format = make_format(org);
   const std::vector<std::size_t> map = format->build(coords, shape_);
+  build_span.end();
   result.times.build = timer.seconds();
+  ARTSPARSE_OBSERVE_L("artsparse_format_build_ns", "org", to_string(org),
+                      result.times.build * 1e9);
 
   // Reorganize b_data based on map if necessary (line 5). COO/LINEAR return
   // the identity; skip the gather entirely, matching the paper's zero-cost
   // "Reorg." rows for them.
   timer.reset();
+  ARTSPARSE_SPAN_TYPE reorg_span("write.reorg", "store");
   std::vector<value_t> reorganized;
   bool identity = true;
   for (std::size_t i = 0; i < map.size(); ++i) {
@@ -96,10 +107,12 @@ WriteResult FragmentStore::write(const CoordBuffer& coords,
       reorganized[map[i]] = values[i];
     }
   }
+  reorg_span.end();
   result.times.reorg = timer.seconds();
 
   // Concatenate buffers and build the fragment (lines 6-7, "Others").
   timer.reset();
+  ARTSPARSE_SPAN_TYPE encode_span("write.encode", "store");
   Fragment fragment;
   fragment.org = org;
   fragment.codec = codec_;
@@ -110,6 +123,7 @@ WriteResult FragmentStore::write(const CoordBuffer& coords,
   result.index_bytes = fragment.index.size();
   fragment.values = std::move(reorganized);
   const Bytes encoded = encode_fragment(fragment);
+  encode_span.end();
   const std::filesystem::path path = next_fragment_path();
   result.times.others = timer.seconds();
 
@@ -142,6 +156,17 @@ WriteResult FragmentStore::write(const CoordBuffer& coords,
   fragments_.push_back(
       Entry{path, fragment.bbox, org, encoded.size(), lo, hi});
   rtree_dirty_ = true;
+
+  ARTSPARSE_COUNT("artsparse_store_writes_total", 1);
+  ARTSPARSE_COUNT("artsparse_store_write_bytes_total", encoded.size());
+  ARTSPARSE_COUNT("artsparse_store_write_build_ns_total",
+                  result.times.build * 1e9);
+  ARTSPARSE_COUNT("artsparse_store_write_reorg_ns_total",
+                  result.times.reorg * 1e9);
+  ARTSPARSE_COUNT("artsparse_store_write_others_ns_total",
+                  result.times.others * 1e9);
+  ARTSPARSE_COUNT("artsparse_store_write_commit_ns_total",
+                  result.times.write * 1e9);
   return result;
 }
 
@@ -161,6 +186,10 @@ std::vector<const FragmentStore::Entry*> FragmentStore::discover(
     // next write, so concurrent visits below are read-only and safe.
     const std::scoped_lock lock(rtree_mutex_);
     if (rtree_dirty_) {
+      ARTSPARSE_SPAN_TYPE rebuild_span("store.rtree_rebuild", "store");
+      rebuild_span.attr("fragments",
+                        static_cast<std::uint64_t>(fragments_.size()));
+      WallTimer rebuild_timer;
       // Empty-bbox fragments (zero points) can never overlap; give them a
       // degenerate placeholder the tree accepts, then filter on visit.
       std::vector<Box> boxes;
@@ -172,6 +201,9 @@ std::vector<const FragmentStore::Entry*> FragmentStore::discover(
       }
       rtree_ = RTree::bulk_load(boxes);
       rtree_dirty_ = false;
+      ARTSPARSE_COUNT("artsparse_store_rtree_rebuilds_total", 1);
+      ARTSPARSE_OBSERVE("artsparse_store_rtree_rebuild_ns",
+                        rebuild_timer.seconds() * 1e9);
     }
   }
   rtree_.visit(box, [&](std::size_t id) {
@@ -193,6 +225,11 @@ ReadResult FragmentStore::read(const CoordBuffer& queries) const {
   }
   detail::require(queries.rank() == shape_.rank(),
                   "query rank does not match store shape");
+
+  ARTSPARSE_SPAN_TYPE read_span("store.read", "read");
+  read_span.attr("queries", static_cast<std::uint64_t>(queries.size()));
+  ARTSPARSE_COUNT("artsparse_read_queries_total", 1);
+  ARTSPARSE_COUNT("artsparse_read_points_total", queries.size());
 
   // Find all fragments containing b_coor (line 4): bounding-box overlap.
   WallTimer timer;
@@ -230,6 +267,8 @@ ReadResult FragmentStore::read(const CoordBuffer& queries) const {
             }
           }
           partial.query = search_timer.seconds();
+          ARTSPARSE_OBSERVE_L("artsparse_format_read_ns", "org",
+                              to_string(fragment.org), partial.query * 1e9);
         } catch (const Error& e) {
           if (read_fault_policy_ == ReadFaultPolicy::kStrict) throw;
           partial = Partial{};
@@ -246,10 +285,12 @@ ReadResult FragmentStore::read(const CoordBuffer& queries) const {
   for (std::size_t i = 0; i < partials.size(); ++i) {
     const Partial& partial = partials[i];
     if (partial.skipped) {
+      ARTSPARSE_COUNT("artsparse_read_fragments_skipped_total", 1);
       result.skipped.push_back(
           SkippedFragment{hits[i]->path.string(), partial.skip_error});
       continue;
     }
+    ARTSPARSE_COUNT("artsparse_read_fragments_resolved_total", 1);
     result.times.extract += partial.extract;
     result.times.query += partial.query;
     ++(partial.cache_hit ? result.times.cache_hits
@@ -298,6 +339,8 @@ ReadResult FragmentStore::scan_region_where(const Box& region,
                   "region rank does not match store shape");
   detail::require(range.min <= range.max, "value range is inverted");
   ReadResult result;
+  ARTSPARSE_SPAN_TYPE scan_span("store.scan", "read");
+  ARTSPARSE_COUNT("artsparse_read_queries_total", 1);
   WallTimer timer;
   // Discovery prunes on both axes: spatial overlap (R-tree backed for
   // large stores) and the fragment's value statistics vs the predicate.
@@ -338,6 +381,8 @@ ReadResult FragmentStore::scan_region_where(const Box& region,
             }
           }
           partial.query = scan_timer.seconds();
+          ARTSPARSE_OBSERVE_L("artsparse_format_read_ns", "org",
+                              to_string(fragment.org), partial.query * 1e9);
         } catch (const Error& e) {
           if (read_fault_policy_ == ReadFaultPolicy::kStrict) throw;
           partial = Partial{};
@@ -352,10 +397,12 @@ ReadResult FragmentStore::scan_region_where(const Box& region,
   for (std::size_t i = 0; i < partials.size(); ++i) {
     const Partial& partial = partials[i];
     if (partial.skipped) {
+      ARTSPARSE_COUNT("artsparse_read_fragments_skipped_total", 1);
       result.skipped.push_back(
           SkippedFragment{hits[i]->path.string(), partial.skip_error});
       continue;
     }
+    ARTSPARSE_COUNT("artsparse_read_fragments_resolved_total", 1);
     result.times.extract += partial.extract;
     result.times.query += partial.query;
     ++(partial.cache_hit ? result.times.cache_hits
@@ -392,6 +439,10 @@ WriteResult FragmentStore::consolidate(std::optional<OrgKind> org) {
   // then merge sequentially in write order so a cell written more than once
   // keeps the *latest* value (fragments_ is in write order; rescan() sorts
   // by filename, which names fragments in write order too).
+  ARTSPARSE_SPAN_TYPE consolidate_span("store.consolidate", "store");
+  consolidate_span.attr("fragments",
+                        static_cast<std::uint64_t>(fragments_.size()));
+  ARTSPARSE_COUNT("artsparse_store_consolidations_total", 1);
   const Box whole = Box::whole(shape_);
   std::vector<std::vector<std::pair<index_t, value_t>>> partials(
       fragments_.size());
@@ -466,6 +517,7 @@ void FragmentStore::rescan() {
       // part of the committed fragment set. Sweep it.
       std::error_code ec;
       std::filesystem::remove(path, ec);
+      ARTSPARSE_COUNT("artsparse_store_swept_tmp_total", 1);
       last_scan_.swept_tmp.push_back(path.string());
     } else {
       // Stray non-fragment file (quarantined fragments land here too).
@@ -493,6 +545,7 @@ void FragmentStore::rescan() {
       const std::filesystem::path aside = path.string() + kQuarantineSuffix;
       std::error_code ec;
       std::filesystem::rename(path, aside, ec);
+      ARTSPARSE_COUNT("artsparse_store_quarantined_total", 1);
       last_scan_.quarantined.push_back(path.string());
       continue;
     }

@@ -6,6 +6,7 @@
 
 #include "core/error.hpp"
 #include "core/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace artsparse {
 
@@ -33,6 +34,9 @@ RetryStats retry_io(const RetryPolicy& policy,
   const std::size_t max_attempts =
       std::max<std::size_t>(policy.max_attempts, 1);
   for (std::size_t attempt = 1;; ++attempt) {
+    // Counted per try (not on return) so exhausted operations still show
+    // their attempts in the registry.
+    ARTSPARSE_COUNT("artsparse_store_io_attempts_total", 1);
     try {
       fn();
       stats.attempts = attempt;
@@ -40,10 +44,12 @@ RetryStats retry_io(const RetryPolicy& policy,
       return stats;
     } catch (const IoError& e) {
       if (!e.retryable() || attempt >= max_attempts) throw;
+      ARTSPARSE_COUNT("artsparse_store_io_retries_total", 1);
       const double delay = policy.delay_seconds(attempt);
       if (delay > 0.0) {
         std::this_thread::sleep_for(std::chrono::duration<double>(delay));
         stats.backoff_seconds += delay;
+        ARTSPARSE_COUNT("artsparse_store_backoff_ns_total", delay * 1e9);
       }
     }
   }

@@ -1,6 +1,8 @@
 #include "tiles/tiled_store.hpp"
 
 #include "core/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace artsparse {
 
@@ -18,6 +20,9 @@ TiledWriteResult TiledStore::write(const CoordBuffer& coords,
                   "coordinate and value counts differ");
   TiledWriteResult result;
   result.point_count = coords.size();
+
+  ARTSPARSE_SPAN_TYPE write_span("tiled.write", "tiled");
+  write_span.attr("points", static_cast<std::uint64_t>(coords.size()));
 
   // Bucket points by tile id.
   std::map<index_t, std::vector<std::size_t>> buckets;
@@ -58,6 +63,10 @@ TiledWriteResult TiledStore::write(const CoordBuffer& coords,
     result.times.backoff += written.times.backoff;
     result.tile_orgs[tile] = org;
   }
+  write_span.attr("tiles", static_cast<std::uint64_t>(result.tiles_written));
+  ARTSPARSE_COUNT("artsparse_tiled_writes_total", 1);
+  ARTSPARSE_COUNT("artsparse_tiled_tiles_written_total",
+                  result.tiles_written);
   return result;
 }
 

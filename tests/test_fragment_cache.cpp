@@ -255,5 +255,62 @@ TEST_F(FragmentCacheTest, TiledStoreSharesTheCache) {
   EXPECT_EQ(&store.cache(), cache.get());
 }
 
+#if defined(ARTSPARSE_OBS_ENABLED)
+TEST_F(FragmentCacheTest, StatsAndRegistryAreIndependentCursors) {
+  // CacheStats (per instance) and the obs registry (process-wide) observe
+  // the same event stream through independent cursors: resetting one must
+  // not move the other.
+  const Shape shape{64, 64};
+  obs::MetricsRegistry& reg = obs::registry();
+  const double hits_before = reg.snapshot().value("artsparse_cache_hits_total");
+  const double misses_before =
+      reg.snapshot().value("artsparse_cache_misses_total");
+  const std::int64_t open_before = static_cast<std::int64_t>(
+      reg.snapshot().value("artsparse_cache_open_fragments"));
+
+  auto cache = std::make_shared<FragmentCache>();
+  {
+    FragmentStore store(dir_, shape, DeviceModel::unthrottled(),
+                        CodecKind::kIdentity, cache);
+    write_fragments(store, 2);
+    store.scan_region(Box::whole(shape));  // 2 misses
+    store.scan_region(Box::whole(shape));  // 2 hits
+
+    EXPECT_EQ(cache->stats().hits, 2u);
+    EXPECT_EQ(cache->stats().misses, 2u);
+    EXPECT_DOUBLE_EQ(reg.snapshot().value("artsparse_cache_hits_total"),
+                     hits_before + 2);
+    EXPECT_DOUBLE_EQ(reg.snapshot().value("artsparse_cache_misses_total"),
+                     misses_before + 2);
+    EXPECT_EQ(static_cast<std::int64_t>(
+                  reg.snapshot().value("artsparse_cache_open_fragments")),
+              open_before + 2);
+
+    // Cursor independence, direction 1: reset_stats() rewinds only the
+    // per-instance view.
+    cache->reset_stats();
+    EXPECT_EQ(cache->stats().hits, 0u);
+    EXPECT_DOUBLE_EQ(reg.snapshot().value("artsparse_cache_hits_total"),
+                     hits_before + 2);
+
+    // Direction 2: registry reset zeroes the process-wide counters but
+    // not the instance's, and leaves the resident gauges alone.
+    store.scan_region(Box::whole(shape));  // 2 more instance hits
+    reg.reset();
+    EXPECT_EQ(cache->stats().hits, 2u);
+    EXPECT_DOUBLE_EQ(reg.snapshot().value("artsparse_cache_hits_total"),
+                     0.0);
+    EXPECT_EQ(static_cast<std::int64_t>(
+                  reg.snapshot().value("artsparse_cache_open_fragments")),
+              open_before + 2);
+  }
+  // The cache's residents die with it; the live gauges return to baseline.
+  cache.reset();
+  EXPECT_EQ(static_cast<std::int64_t>(
+                reg.snapshot().value("artsparse_cache_open_fragments")),
+            open_before);
+}
+#endif
+
 }  // namespace
 }  // namespace artsparse

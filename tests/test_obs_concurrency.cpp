@@ -1,0 +1,108 @@
+// Concurrency contract of the metrics registry (run under TSan in CI):
+// parallel_for_each workers hammer counters, gauges, and histograms while
+// a scraper thread snapshots and exports concurrently. Totals must come
+// out exact — sharding may spread increments but never lose them.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "core/parallel.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace artsparse::obs {
+namespace {
+
+TEST(ObsConcurrency, ParallelWritersAndScraperAgreeOnTotals) {
+  Counter& counter = registry().counter("test_obs_conc_total");
+  Gauge& gauge = registry().gauge("test_obs_conc_gauge");
+  Histogram& hist = registry().histogram("test_obs_conc_ns", "", {},
+                                         {100.0, 10000.0, 1000000.0});
+  counter.reset();
+  gauge.set(0);
+  hist.reset();
+
+  constexpr std::size_t kItems = 20000;
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    // Scrape continuously while writers run; every intermediate reading
+    // must be internally sane (count never exceeds the final total).
+    while (!done.load(std::memory_order_relaxed)) {
+      const MetricsSnapshot snap = registry().snapshot();
+      EXPECT_LE(snap.value("test_obs_conc_total"), kItems * 3.0);
+      const std::string text = to_prometheus(snap);
+      EXPECT_NE(text.find("test_obs_conc_total"), std::string::npos);
+    }
+  });
+
+  // Grain 1: force the fan-out even though each item is tiny.
+  parallel_for_each(
+      kItems,
+      [&](std::size_t i) {
+        counter.add(3);
+        gauge.add(1);
+        gauge.add(-1);
+        hist.observe(static_cast<double>(i));
+        ARTSPARSE_COUNT("test_obs_conc_macro_total", 1);
+      },
+      0, 1);
+
+  done.store(true, std::memory_order_relaxed);
+  scraper.join();
+
+  EXPECT_EQ(counter.value(), kItems * 3);
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_EQ(hist.count(), kItems);
+#if defined(ARTSPARSE_OBS_ENABLED)
+  EXPECT_EQ(registry().counter("test_obs_conc_macro_total").value(),
+            kItems);
+#endif
+}
+
+TEST(ObsConcurrency, ParallelSpansRecordWithoutRacing) {
+  const bool was_enabled = TraceBuffer::global().enabled();
+  TraceBuffer::global().clear();
+  TraceBuffer::global().set_enabled(true);
+
+  constexpr std::size_t kSpans = 2000;
+  parallel_for_each(
+      kSpans,
+      [&](std::size_t i) {
+        Span span("obs_test.parallel", "test");
+        span.attr("i", static_cast<std::uint64_t>(i));
+      },
+      0, 1);
+
+  const std::vector<SpanRecord> spans = TraceBuffer::global().snapshot();
+  EXPECT_EQ(spans.size() + TraceBuffer::global().dropped(), kSpans);
+
+  TraceBuffer::global().set_enabled(was_enabled);
+  TraceBuffer::global().clear();
+}
+
+TEST(ObsConcurrency, RegistrationRacesResolveToOneSeries) {
+  // Many threads registering the same name concurrently must all get the
+  // same instance.
+  constexpr std::size_t kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Counter& c = registry().counter("test_obs_conc_race_total");
+      c.add(1);
+      seen[t] = &c;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (std::size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[0]);
+  }
+  EXPECT_EQ(registry().counter("test_obs_conc_race_total").value(),
+            kThreads);
+}
+
+}  // namespace
+}  // namespace artsparse::obs

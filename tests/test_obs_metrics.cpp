@@ -1,0 +1,147 @@
+// MetricsRegistry, the metric primitives, and the exporters. Tests use
+// test-local metric names (the registry is process-wide and shared with
+// every other suite in this binary).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/error.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace artsparse::obs {
+namespace {
+
+TEST(ObsMetrics, CounterAccumulatesAndResets) {
+  Counter& counter = registry().counter("test_obs_counter_basic_total");
+  const std::uint64_t before = counter.value();
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), before + 42);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(ObsMetrics, RegistryReturnsStableReferences) {
+  Counter& a = registry().counter("test_obs_counter_stable_total");
+  Counter& b = registry().counter("test_obs_counter_stable_total");
+  EXPECT_EQ(&a, &b);
+  // Distinct labels are distinct series.
+  Counter& gcsr = registry().counter("test_obs_labeled_total", "",
+                                     {{"org", "gcsr"}});
+  Counter& csf = registry().counter("test_obs_labeled_total", "",
+                                    {{"org", "csf"}});
+  EXPECT_NE(&gcsr, &csf);
+}
+
+TEST(ObsMetrics, KindMismatchThrows) {
+  registry().counter("test_obs_kind_clash");
+  EXPECT_THROW(registry().gauge("test_obs_kind_clash"), Error);
+  EXPECT_THROW(registry().histogram("test_obs_kind_clash"), Error);
+}
+
+TEST(ObsMetrics, GaugeTracksLevelAndSurvivesReset) {
+  Gauge& gauge = registry().gauge("test_obs_gauge_level");
+  gauge.set(10);
+  gauge.add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+  Counter& counter = registry().counter("test_obs_gauge_peer_total");
+  counter.add(5);
+  registry().reset();
+  // reset() zeroes counters/histograms but must not touch gauges: they
+  // mirror live state owned by their instruments.
+  EXPECT_EQ(gauge.value(), 7);
+  EXPECT_EQ(counter.value(), 0u);
+  gauge.set(0);
+}
+
+TEST(ObsMetrics, HistogramBucketsObservations) {
+  Histogram& hist =
+      registry().histogram("test_obs_hist_ns", "", {}, {10.0, 100.0, 1000.0});
+  hist.reset();
+  hist.observe(5.0);     // le=10
+  hist.observe(10.0);    // le=10 (inclusive upper bound)
+  hist.observe(50.0);    // le=100
+  hist.observe(5000.0);  // +Inf
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 5065.0);
+  const std::vector<std::uint64_t> buckets = hist.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // three bounds + Inf
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(ObsMetrics, SnapshotFindsByNameAndLabels) {
+  registry().counter("test_obs_snap_total", "", {{"k", "a"}}).add(3);
+  registry().counter("test_obs_snap_total", "", {{"k", "b"}}).add(7);
+  const MetricsSnapshot snap = registry().snapshot();
+  EXPECT_DOUBLE_EQ(snap.value("test_obs_snap_total", {{"k", "a"}}), 3.0);
+  EXPECT_DOUBLE_EQ(snap.value("test_obs_snap_total", {{"k", "b"}}), 7.0);
+  EXPECT_EQ(snap.find("test_obs_absent"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.value("test_obs_absent"), 0.0);
+}
+
+TEST(ObsMetrics, PrometheusExportIsWellFormed) {
+  registry().counter("test_obs_prom_total", "events seen").add(2);
+  registry()
+      .histogram("test_obs_prom_ns", "", {}, {100.0, 1000.0})
+      .observe(50.0);
+  const std::string text = to_prometheus(registry().snapshot());
+  EXPECT_NE(text.find("# TYPE test_obs_prom_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP test_obs_prom_total events seen"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_obs_prom_total 2"), std::string::npos);
+  // Histogram: cumulative buckets, +Inf, _sum, _count.
+  EXPECT_NE(text.find("# TYPE test_obs_prom_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_obs_prom_ns_bucket{le=\"100\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_obs_prom_ns_bucket{le=\"1000\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_obs_prom_ns_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_obs_prom_ns_sum 50"), std::string::npos);
+  EXPECT_NE(text.find("test_obs_prom_ns_count 1"), std::string::npos);
+}
+
+TEST(ObsMetrics, PrometheusEscapesLabelValues) {
+  registry()
+      .counter("test_obs_prom_escape_total", "",
+               {{"path", "a\"b\\c\nd"}})
+      .add(1);
+  const std::string text = to_prometheus(registry().snapshot());
+  EXPECT_NE(text.find("path=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
+TEST(ObsMetrics, JsonExportCarriesValuesAndBuckets) {
+  registry().counter("test_obs_json_total").add(9);
+  const std::string json = to_json(registry().snapshot());
+  EXPECT_NE(json.find("\"name\": \"test_obs_json_total\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"counter\""), std::string::npos);
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+}
+
+#if defined(ARTSPARSE_OBS_ENABLED)
+TEST(ObsMetrics, MacrosPublishThroughCachedHandles) {
+  registry().counter("test_obs_macro_total").reset();
+  for (int i = 0; i < 3; ++i) {
+    ARTSPARSE_COUNT("test_obs_macro_total", 2);
+  }
+  EXPECT_EQ(registry().counter("test_obs_macro_total").value(), 6u);
+
+  ARTSPARSE_OBSERVE("test_obs_macro_ns", 1234.0);
+  EXPECT_GE(registry().histogram("test_obs_macro_ns").count(), 1u);
+
+  ARTSPARSE_COUNT_L("test_obs_macro_labeled_total", "org", "gcsr", 1);
+  const MetricsSnapshot snap = registry().snapshot();
+  EXPECT_GE(snap.value("test_obs_macro_labeled_total", {{"org", "gcsr"}}),
+            1.0);
+}
+#endif
+
+}  // namespace
+}  // namespace artsparse::obs

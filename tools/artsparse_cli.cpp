@@ -13,10 +13,16 @@
 //   artsparse consolidate --store DIR [--org ORG]
 //   artsparse export   --store DIR --tsv out.tsv
 //   artsparse repair   --store DIR [--depth header|structure|full]
+//   artsparse metrics  [--store DIR] [--region R] [--format prometheus|
+//                      json|both] [--trace FILE]
 //
 // Every command prints a one-line summary; data-carrying commands accept
-// --print to dump points.
+// --print to dump points, and read/scan accept --json for a machine-
+// readable result that includes an observability telemetry block.
+#include <unistd.h>
+
 #include <cstdio>
+#include <fstream>
 
 #include "cli_support.hpp"
 
@@ -29,16 +35,18 @@ int usage() {
       "  generate  --shape S --pattern tsp|gsp|msp --density F --seed N\n"
       "            --store DIR [--org ORG] [--tile S] [--codec none|dv]\n"
       "  import    --store DIR --shape S --tsv FILE [--org ORG]\n"
-      "  read      --store DIR --region lo:hi,... [--print]\n"
+      "  read      --store DIR --region lo:hi,... [--print] [--json]\n"
       "            [--cache-bytes N[K|M|G]] [--read-policy strict|skip]\n"
-      "  scan      --store DIR --region lo:hi,... [--print]\n"
+      "  scan      --store DIR --region lo:hi,... [--print] [--json]\n"
       "            [--cache-bytes N[K|M|G]] [--read-policy strict|skip]\n"
       "  info      --store DIR\n"
       "  advise    --store DIR [--weights balanced|read|archive]\n"
       "  consolidate --store DIR [--org ORG]\n"
       "  export    --store DIR --tsv FILE\n"
       "  check     --store DIR [--depth header|structure|full] [--json]\n"
-      "  repair    --store DIR [--depth header|structure|full]\n",
+      "  repair    --store DIR [--depth header|structure|full]\n"
+      "  metrics   [--store DIR] [--region lo:hi,...]\n"
+      "            [--format prometheus|json|both] [--trace FILE]\n",
       stderr);
   return 2;
 }
@@ -154,6 +162,32 @@ int cmd_read(const Args& args, bool scan) {
                                         : Box::whole(shape);
   const ReadResult result =
       scan ? store.scan_region(region) : store.read_region(region);
+  if (args.has("json")) {
+    // Machine-readable result: the query summary plus a telemetry block
+    // scraped from the process-wide metrics registry.
+    std::printf("{\"command\": \"%s\", \"region\": \"%s\", "
+                "\"points\": %zu, \"fragments_visited\": %zu, "
+                "\"fragments_skipped\": %zu,\n",
+                scan ? "scan" : "read",
+                obs::json_escape(region.to_string()).c_str(),
+                result.values.size(), result.fragments_visited,
+                result.skipped.size());
+    std::printf(" \"times\": {\"discover_sec\": %.9g, \"extract_sec\": "
+                "%.9g, \"query_sec\": %.9g, \"merge_sec\": %.9g, "
+                "\"total_sec\": %.9g},\n",
+                result.times.discover, result.times.extract,
+                result.times.query, result.times.merge,
+                result.times.total());
+    const CacheStats cache_stats = cache->stats();
+    std::printf(" \"cache\": {\"hits\": %zu, \"misses\": %zu, "
+                "\"evictions\": %zu, \"open_count\": %zu, "
+                "\"open_bytes\": %zu},\n",
+                cache_stats.hits, cache_stats.misses, cache_stats.evictions,
+                cache_stats.open_count, cache_stats.open_bytes);
+    std::printf(" \"telemetry\": %s}\n",
+                obs::to_json(obs::registry().snapshot()).c_str());
+    return 0;
+  }
   std::printf("%s %s: %zu points from %zu fragments in %.4fs "
               "(discover %.4f, extract %.4f, query %.4f, merge %.4f)\n",
               scan ? "scan" : "read", region.to_string().c_str(),
@@ -300,6 +334,75 @@ int cmd_repair(const Args& args) {
   return 0;
 }
 
+/// Exercises the full write + read path against a throwaway store so a
+/// bare `artsparse metrics` (and the CI smoke job) sees every hot-path
+/// metric populated: tiled write, commit, cold reads (cache misses), then
+/// a warm re-read (cache hits).
+void metrics_selftest() {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("artsparse_metrics_" + std::to_string(::getpid()));
+  {
+    const Shape shape = parse_shape("64,64");
+    const SparseDataset dataset =
+        make_dataset(shape, calibrate_gsp(0.02), 7);
+    const TileGrid grid(shape, parse_shape("32,32"));
+    TiledStore store(dir, grid, TilePolicy::advisor(),
+                     DeviceModel::unthrottled(), CodecKind::kIdentity);
+    store.write(dataset.coords, dataset.values);
+    store.scan_region(Box::whole(shape));  // cold: cache misses
+    store.scan_region(Box::whole(shape));  // warm: cache hits
+    store.read(dataset.coords);            // point-query path
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+int cmd_metrics(const Args& args) {
+  const std::string format = args.get("format", "prometheus");
+  detail::require(format == "prometheus" || format == "json" ||
+                      format == "both",
+                  "--format must be prometheus, json, or both");
+  const std::string trace_path = args.get("trace");
+  if (!trace_path.empty()) {
+    obs::TraceBuffer::global().set_enabled(true);
+  }
+
+  if (args.has("store")) {
+    // Drive reads over an existing store so the scrape reflects it: one
+    // cold pass (misses + fragment loads) and one warm pass (hits).
+    const std::string dir = args.get("store");
+    const Shape shape = store_shape(dir);
+    FragmentStore store(dir, shape);
+    const Box region = args.has("region") ? parse_region(args.get("region"))
+                                          : Box::whole(shape);
+    store.scan_region(region);
+    store.scan_region(region);
+  } else {
+    metrics_selftest();
+  }
+
+  const obs::MetricsSnapshot snapshot = obs::registry().snapshot();
+  if (format == "prometheus" || format == "both") {
+    std::fputs(obs::to_prometheus(snapshot).c_str(), stdout);
+  }
+  if (format == "json" || format == "both") {
+    std::fputs(obs::to_json(snapshot).c_str(), stdout);
+  }
+
+  if (!trace_path.empty()) {
+    const std::vector<obs::SpanRecord> spans =
+        obs::TraceBuffer::global().snapshot();
+    std::ofstream out(trace_path);
+    detail::require(static_cast<bool>(out),
+                    "cannot open trace output: " + trace_path);
+    out << obs::trace_to_chrome(spans);
+    std::fprintf(stderr, "trace: %zu spans -> %s\n", spans.size(),
+                 trace_path.c_str());
+  }
+  return 0;
+}
+
 int run(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   if (args.command == "generate") return cmd_generate(args);
@@ -312,6 +415,7 @@ int run(int argc, char** argv) {
   if (args.command == "export") return cmd_export(args);
   if (args.command == "check") return cmd_check(args);
   if (args.command == "repair") return cmd_repair(args);
+  if (args.command == "metrics") return cmd_metrics(args);
   return usage();
 }
 
