@@ -1,14 +1,132 @@
 // Table III: breakdown of the total time to write sparse tensors for the
-// 4-D MSP pattern — Build / Reorg / Write / Others per organization.
+// 4-D MSP pattern — Build / Reorg / Write / Others per organization, with
+// Build further split into its sort stage (the part ARTSPARSE_THREADS
+// scales) and the serial structure assembly.
 //
 // Expected shape (paper): COO builds in ~zero time but writes the largest
 // file; LINEAR's total beats COO; GCSC++ builds slowest (column sort against
 // row-major input); the sorting formats dominate their totals with Build.
+//
+// `--build-scaling[=N]` additionally times the sorting formats' build()
+// alone on N (default 10M) synthetic 4-D points at ARTSPARSE_THREADS=1 vs
+// 8, asserting the serialized fragments are byte-identical across thread
+// counts and reporting the build / sort-stage speedups.
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
 #include "bench_common.hpp"
+
+namespace {
+
+using namespace artsparse;
+
+/// N random 4-D points (duplicates allowed, like a worst-case ingest).
+CoordBuffer make_scaling_coords(std::size_t n, const Shape& shape) {
+  Xoshiro256 rng(17);
+  std::vector<index_t> flat;
+  flat.reserve(n * shape.rank());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t dim = 0; dim < shape.rank(); ++dim) {
+      flat.push_back(rng.next_below(shape.extent(dim)));
+    }
+  }
+  return CoordBuffer(shape.rank(), std::move(flat));
+}
+
+struct BuildTiming {
+  double build = 0.0;
+  double sort = 0.0;
+  Bytes bytes;
+};
+
+/// Best-of-2 build() wall time under the current ARTSPARSE_THREADS.
+BuildTiming time_build(OrgKind org, const CoordBuffer& coords,
+                       const Shape& shape) {
+  BuildTiming best;
+  for (int round = 0; round < 2; ++round) {
+    auto format = make_format(org);
+    WallTimer timer;
+    format->build(coords, shape);
+    const double build = timer.seconds();
+    if (round == 0 || build < best.build) {
+      best.build = build;
+      best.sort = format->last_build_sort_seconds();
+      best.bytes = serialize_format(*format);
+    }
+  }
+  return best;
+}
+
+int run_build_scaling(std::size_t n) {
+  const Shape shape{256, 256, 256, 256};
+  std::printf("\nBuild scaling — %zu random 4D points in %s, "
+              "ARTSPARSE_THREADS 1 vs 8\n\n",
+              n, shape.to_string().c_str());
+  const CoordBuffer coords = make_scaling_coords(n, shape);
+
+  const OrgKind sorting_orgs[] = {OrgKind::kGcsr, OrgKind::kGcsc,
+                                  OrgKind::kCsf, OrgKind::kSortedCoo};
+  TextTable table({"Org", "Build @1", "Build @8", "Speedup", "Sort @1",
+                   "Sort @8", "Sort speedup", "Bytes equal"});
+  bool all_equal = true;
+  double min_sort_speedup = 0.0;
+  for (OrgKind org : sorting_orgs) {
+    ::setenv("ARTSPARSE_THREADS", "1", 1);
+    const BuildTiming serial = time_build(org, coords, shape);
+    ::setenv("ARTSPARSE_THREADS", "8", 1);
+    const BuildTiming parallel = time_build(org, coords, shape);
+    ::unsetenv("ARTSPARSE_THREADS");
+
+    const bool equal = serial.bytes == parallel.bytes;
+    all_equal = all_equal && equal;
+    const double build_speedup =
+        parallel.build > 0.0 ? serial.build / parallel.build : 0.0;
+    const double sort_speedup =
+        parallel.sort > 0.0 ? serial.sort / parallel.sort : 0.0;
+    if (min_sort_speedup == 0.0 || sort_speedup < min_sort_speedup) {
+      min_sort_speedup = sort_speedup;
+    }
+    char speedup_cell[32];
+    std::snprintf(speedup_cell, sizeof(speedup_cell), "%.2fx",
+                  build_speedup);
+    char sort_cell[32];
+    std::snprintf(sort_cell, sizeof(sort_cell), "%.2fx", sort_speedup);
+    table.add_row({to_string(org), format_seconds(serial.build),
+                   format_seconds(parallel.build), speedup_cell,
+                   format_seconds(serial.sort),
+                   format_seconds(parallel.sort), sort_cell,
+                   equal ? "yes" : "NO"});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("\nchecks: serialized bytes identical across thread counts "
+              "%s; min sort-stage speedup %.2fx %s\n",
+              all_equal ? "OK" : "FAILED",
+              min_sort_speedup,
+              min_sort_speedup >= 2.0 ? "OK" : "(below 2x — machine-bound)");
+  artsparse::bench::emit_csv(table, "table3_build_scaling");
+  // Byte equality is a correctness contract and fails the run; the speedup
+  // depends on the host's core count and only prints.
+  return all_equal ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace artsparse;
   const ScaleKind scale = scale_from_args(argc, argv);
+
+  // `--build-scaling[=N]` runs only the thread-scaling section.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--build-scaling", 15) == 0) {
+      std::size_t n = 10'000'000;
+      if (argv[i][15] == '=') {
+        n = static_cast<std::size_t>(std::strtoull(argv[i] + 16, nullptr, 10));
+      }
+      return run_build_scaling(n);
+    }
+  }
 
   const Workload w = make_workload(4, PatternKind::kMsp, scale);
   const SparseDataset dataset = make_dataset(w.shape, w.spec, w.seed);
@@ -32,6 +150,9 @@ int main(int argc, char** argv) {
     table.add_row(std::move(cells));
   };
   row("Build", [](const WriteBreakdown& t) { return t.build; });
+  row("- sort", [](const WriteBreakdown& t) { return t.build_sort; });
+  row("- assemble",
+      [](const WriteBreakdown& t) { return t.build - t.build_sort; });
   row("Reorg.", [](const WriteBreakdown& t) { return t.reorg; });
   row("Write", [](const WriteBreakdown& t) { return t.write; });
   row("Others", [](const WriteBreakdown& t) { return t.others; });

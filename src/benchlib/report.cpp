@@ -250,6 +250,8 @@ std::string measurements_to_json(const std::vector<Measurement>& grid) {
     out << "\"verified\": " << (m.verified ? "true" : "false") << ",\n";
     out << "     \"write\": {"
         << "\"build_sec\": " << json_number(m.write_times.build) << ", "
+        << "\"build_sort_sec\": " << json_number(m.write_times.build_sort)
+        << ", "
         << "\"reorg_sec\": " << json_number(m.write_times.reorg) << ", "
         << "\"others_sec\": " << json_number(m.write_times.others) << ", "
         << "\"write_sec\": " << json_number(m.write_times.write) << ", "

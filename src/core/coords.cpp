@@ -1,6 +1,9 @@
 #include "core/coords.hpp"
 
+#include <algorithm>
+
 #include "core/error.hpp"
+#include "core/parallel.hpp"
 
 namespace artsparse {
 
@@ -35,12 +38,16 @@ void CoordBuffer::append(std::initializer_list<index_t> point) {
 CoordBuffer CoordBuffer::permuted(std::span<const std::size_t> perm) const {
   detail::require(perm.size() == size(),
                   "permutation length does not match point count");
-  CoordBuffer out(rank_);
-  out.reserve(size());
-  for (std::size_t i = 0; i < perm.size(); ++i) {
-    out.append(point(perm[i]));
-  }
-  return out;
+  // Each output point owns a disjoint rank_-wide window of the flat buffer,
+  // so the gather can be chunked across workers after a single pre-size.
+  std::vector<index_t> flat(size() * rank_);
+  parallel_for(0, perm.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto p = point(perm[i]);
+      std::copy(p.begin(), p.end(), flat.begin() + i * rank_);
+    }
+  });
+  return CoordBuffer(rank_, std::move(flat));
 }
 
 }  // namespace artsparse

@@ -1,19 +1,54 @@
 #include "core/parallel.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
 
 namespace artsparse {
 
-unsigned worker_count() {
-  if (const char* env = std::getenv("ARTSPARSE_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 1) return static_cast<unsigned>(parsed);
+namespace detail {
+
+namespace {
+ThreadSpawner g_thread_spawner = nullptr;
+}  // namespace
+
+void set_thread_spawner_for_testing(ThreadSpawner spawner) {
+  g_thread_spawner = spawner;
+}
+
+namespace {
+
+std::thread spawn_worker(std::function<void()> work) {
+  if (g_thread_spawner != nullptr) {
+    return g_thread_spawner(std::move(work));
   }
+  return std::thread(std::move(work));
+}
+
+}  // namespace
+
+}  // namespace detail
+
+unsigned worker_count() {
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  const unsigned fallback = hw == 0 ? 1 : hw;
+  if (const char* env = std::getenv("ARTSPARSE_THREADS")) {
+    char* end = nullptr;
+    errno = 0;
+    const long long parsed = std::strtoll(env, &end, 10);
+    // Trailing garbage ("4x") or an empty value means the setting is
+    // malformed — ignore it rather than honoring the accidental prefix.
+    const bool malformed = end == env || *end != '\0';
+    if (!malformed && parsed >= 1) {
+      // errno == ERANGE saturates strtoll at LLONG_MAX, which this min()
+      // clamps along with every other oversized value.
+      return static_cast<unsigned>(std::min<long long>(parsed,
+                                                       kMaxWorkerThreads));
+    }
+  }
+  return fallback;
 }
 
 void parallel_for(std::size_t begin, std::size_t end,
@@ -34,18 +69,28 @@ void parallel_for(std::size_t begin, std::size_t end,
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * per_chunk;
-    const std::size_t hi = std::min(end, lo + per_chunk);
-    if (lo >= hi) break;
-    workers.emplace_back([&, lo, hi] {
-      try {
-        fn(lo, hi);
-      } catch (...) {
-        const std::scoped_lock lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
+  try {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = begin + c * per_chunk;
+      const std::size_t hi = std::min(end, lo + per_chunk);
+      if (lo >= hi) break;
+      workers.push_back(detail::spawn_worker([&, lo, hi] {
+        try {
+          fn(lo, hi);
+        } catch (...) {
+          const std::scoped_lock lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }));
+    }
+  } catch (...) {
+    // Thread construction failed (e.g. std::system_error on exhaustion)
+    // partway through the spawn loop: join what did start before
+    // propagating, or their destructors would call std::terminate.
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+    throw;
   }
   for (std::thread& worker : workers) {
     worker.join();

@@ -19,8 +19,27 @@ namespace artsparse {
 /// Elements below which parallel_for runs inline on the calling thread.
 inline constexpr std::size_t kParallelGrain = 1 << 15;
 
-/// Worker count honoring ARTSPARSE_THREADS; always >= 1.
+/// Upper bound on ARTSPARSE_THREADS: values above it clamp here instead of
+/// wrapping through integer conversion (far beyond any sane fan-out, but
+/// keeps a typo'd "4294967296" from silently becoming 0 workers).
+inline constexpr unsigned kMaxWorkerThreads = 1024;
+
+/// Worker count honoring ARTSPARSE_THREADS; always in
+/// [1, kMaxWorkerThreads]. Malformed values (trailing garbage, empty,
+/// zero, negative) are ignored in favor of hardware_concurrency();
+/// oversized values clamp to kMaxWorkerThreads.
 unsigned worker_count();
+
+namespace detail {
+
+/// Test-only hook replacing std::thread construction inside parallel_for,
+/// so tests can fake thread exhaustion (std::system_error) partway through
+/// the spawn loop. nullptr restores the real implementation. Set only from
+/// single-threaded test setup.
+using ThreadSpawner = std::thread (*)(std::function<void()> work);
+void set_thread_spawner_for_testing(ThreadSpawner spawner);
+
+}  // namespace detail
 
 /// Runs fn(begin, end) over disjoint chunks of [begin, end) across
 /// `threads` workers (0 = worker_count()). Blocks until every chunk is

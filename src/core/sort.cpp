@@ -4,8 +4,44 @@
 #include <numeric>
 
 #include "core/error.hpp"
+#include "core/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace artsparse {
+
+namespace {
+
+/// Per-chunk histogram memory is chunks * buckets words; past this bucket
+/// count the serial single-histogram pass is both cheaper and cache-kinder.
+constexpr std::size_t kMaxParallelBuckets = std::size_t{1} << 20;
+
+/// Histogram fan-out cap, independent of ARTSPARSE_THREADS (which the env
+/// parser allows up to 1024): bounds transient memory at
+/// kMaxHistogramChunks * buckets words. Chunk count never changes results.
+constexpr std::size_t kMaxHistogramChunks = 64;
+
+/// Shared chunk geometry for the histogram/scatter passes.
+struct ChunkPlan {
+  std::size_t chunks;
+  std::size_t per_chunk;
+};
+
+ChunkPlan histogram_plan(std::size_t n, unsigned threads) {
+  const std::size_t chunks =
+      std::min({static_cast<std::size_t>(threads), kMaxHistogramChunks, n});
+  return ChunkPlan{chunks, (n + chunks - 1) / chunks};
+}
+
+void count_chunk(std::span<const index_t> keys, std::size_t lo,
+                 std::size_t hi, std::size_t buckets, index_t* counts) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    detail::require(keys[i] < buckets, "histogram key out of bucket range");
+    ++counts[keys[i]];
+  }
+}
+
+}  // namespace
 
 std::vector<std::size_t> sort_permutation(std::span<const index_t> keys) {
   std::vector<std::size_t> perm(keys.size());
@@ -15,6 +51,151 @@ std::vector<std::size_t> sort_permutation(std::span<const index_t> keys) {
                      return keys[a] < keys[b];
                    });
   return perm;
+}
+
+std::vector<std::size_t> parallel_sort_permutation(
+    std::span<const index_t> keys, unsigned threads) {
+  const std::size_t n = keys.size();
+  if (threads == 0) threads = worker_count();
+  if (threads <= 1 || n < kParallelGrain) {
+    return sort_permutation(keys);
+  }
+
+  ARTSPARSE_SPAN_TYPE span("sort.parallel", "build");
+  span.attr("points", static_cast<std::uint64_t>(n));
+  span.attr("threads", static_cast<std::uint64_t>(threads));
+  WallTimer timer;
+
+  // (key, index) pairs: the index tiebreak reproduces stable order while
+  // keeping comparisons on contiguous memory instead of chasing keys[].
+  std::vector<std::pair<index_t, std::size_t>> tagged(n);
+  parallel_for(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          tagged[i] = {keys[i], i};
+        }
+      },
+      threads);
+  parallel_stable_sort(
+      tagged,
+      [](const std::pair<index_t, std::size_t>& a,
+         const std::pair<index_t, std::size_t>& b) { return a < b; },
+      threads);
+  std::vector<std::size_t> perm(n);
+  parallel_for(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          perm[i] = tagged[i].second;
+        }
+      },
+      threads);
+  ARTSPARSE_OBSERVE("artsparse_parallel_sort_ns", timer.seconds() * 1e9);
+  return perm;
+}
+
+std::vector<index_t> histogram_prefix(std::span<const index_t> keys,
+                                      std::size_t buckets,
+                                      unsigned threads) {
+  const std::size_t n = keys.size();
+  if (threads == 0) threads = worker_count();
+  std::vector<index_t> ptr(buckets + 1, 0);
+  if (threads <= 1 || n < kParallelGrain || buckets > kMaxParallelBuckets) {
+    count_chunk(keys, 0, n, buckets, ptr.data() + 1);
+  } else {
+    const ChunkPlan plan = histogram_plan(n, threads);
+    std::vector<index_t> counts(plan.chunks * buckets, 0);
+    parallel_for_each(
+        plan.chunks,
+        [&](std::size_t c) {
+          const std::size_t lo = c * plan.per_chunk;
+          const std::size_t hi = std::min(n, lo + plan.per_chunk);
+          count_chunk(keys, lo, hi, buckets, counts.data() + c * buckets);
+        },
+        threads, /*grain=*/1);
+    for (std::size_t c = 0; c < plan.chunks; ++c) {
+      const index_t* chunk = counts.data() + c * buckets;
+      for (std::size_t b = 0; b < buckets; ++b) {
+        ptr[b + 1] += chunk[b];
+      }
+    }
+  }
+  for (std::size_t b = 0; b < buckets; ++b) {
+    ptr[b + 1] += ptr[b];
+  }
+  return ptr;
+}
+
+CountingSort counting_sort_permutation(std::span<const index_t> keys,
+                                       std::size_t buckets,
+                                       unsigned threads) {
+  const std::size_t n = keys.size();
+  if (threads == 0) threads = worker_count();
+  CountingSort out;
+  out.perm.resize(n);
+  if (threads <= 1 || n < kParallelGrain || buckets > kMaxParallelBuckets) {
+    out.ptr = histogram_prefix(keys, buckets, 1);
+    std::vector<index_t> cursor(out.ptr.begin(), out.ptr.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.perm[cursor[keys[i]]++] = i;
+    }
+    return out;
+  }
+
+  ARTSPARSE_SPAN_TYPE span("sort.counting", "build");
+  span.attr("points", static_cast<std::uint64_t>(n));
+  span.attr("buckets", static_cast<std::uint64_t>(buckets));
+  WallTimer timer;
+
+  const ChunkPlan plan = histogram_plan(n, threads);
+  std::vector<index_t> counts(plan.chunks * buckets, 0);
+  parallel_for_each(
+      plan.chunks,
+      [&](std::size_t c) {
+        const std::size_t lo = c * plan.per_chunk;
+        const std::size_t hi = std::min(n, lo + plan.per_chunk);
+        count_chunk(keys, lo, hi, buckets, counts.data() + c * buckets);
+      },
+      threads, /*grain=*/1);
+
+  out.ptr.assign(buckets + 1, 0);
+  for (std::size_t c = 0; c < plan.chunks; ++c) {
+    const index_t* chunk = counts.data() + c * buckets;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      out.ptr[b + 1] += chunk[b];
+    }
+  }
+  for (std::size_t b = 0; b < buckets; ++b) {
+    out.ptr[b + 1] += out.ptr[b];
+  }
+
+  // Turn counts into per-(chunk, bucket) write cursors: chunk c's slice of
+  // bucket b starts after ptr[b] plus every earlier chunk's b-count. Lower
+  // chunks hold lower original indices, so in-chunk input order + this
+  // chunk ordering is exactly stable_sort's tie order.
+  for (std::size_t b = 0; b < buckets; ++b) {
+    index_t running = out.ptr[b];
+    for (std::size_t c = 0; c < plan.chunks; ++c) {
+      index_t& slot = counts[c * buckets + b];
+      const index_t count = slot;
+      slot = running;
+      running += count;
+    }
+  }
+  parallel_for_each(
+      plan.chunks,
+      [&](std::size_t c) {
+        index_t* cursor = counts.data() + c * buckets;
+        const std::size_t lo = c * plan.per_chunk;
+        const std::size_t hi = std::min(n, lo + plan.per_chunk);
+        for (std::size_t i = lo; i < hi; ++i) {
+          out.perm[cursor[keys[i]]++] = i;
+        }
+      },
+      threads, /*grain=*/1);
+  ARTSPARSE_OBSERVE("artsparse_counting_sort_ns", timer.seconds() * 1e9);
+  return out;
 }
 
 std::vector<std::size_t> invert_permutation(

@@ -32,6 +32,11 @@ struct WriteBreakdown {
   double write = 0.0;   ///< fragment write to the storage device
   double others = 0.0;  ///< header encode, buffer concat, bookkeeping
 
+  /// Portion of `build` spent deriving the sort permutation (key
+  /// precompute + sort / counting pass). Zero for the non-sorting
+  /// organizations (COO, LINEAR); the piece ARTSPARSE_THREADS scales.
+  double build_sort = 0.0;
+
   /// Commit-attempt accounting from the retrying atomic write: attempts
   /// made (>= 1 per fragment on success; summed across fragments in tiled
   /// writes), retries among them, and the total backoff slept. `write`

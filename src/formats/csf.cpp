@@ -4,7 +4,9 @@
 #include <numeric>
 
 #include "check/issues.hpp"
+#include "core/parallel.hpp"
 #include "core/sort.hpp"
+#include "core/timer.hpp"
 
 namespace artsparse {
 
@@ -18,6 +20,7 @@ std::vector<std::size_t> CsfFormat::build(const CoordBuffer& coords,
   nfibs_.clear();
   fids_.clear();
   fptr_.clear();
+  build_sort_seconds_ = 0.0;
 
   if (coords.empty()) {
     return {};
@@ -36,33 +39,56 @@ std::vector<std::size_t> CsfFormat::build(const CoordBuffer& coords,
                    });
 
   // Line 7: sort points lexicographically in the permuted dimension order.
+  // Rather than a comparator that re-reads coords.point() per comparison,
+  // linearize each point within the local box in dim_order_ — the box's
+  // Shape already proved its address space fits index_t, so one u64 key per
+  // point captures the full lexicographic order.
   const std::size_t n = coords.size();
-  std::vector<std::size_t> perm(n);
-  std::iota(perm.begin(), perm.end(), std::size_t{0});
-  std::stable_sort(perm.begin(), perm.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     const auto pa = coords.point(a);
-                     const auto pb = coords.point(b);
-                     for (std::size_t level = 0; level < d; ++level) {
-                       const index_t ca = pa[dim_order_[level]];
-                       const index_t cb = pb[dim_order_[level]];
-                       if (ca != cb) return ca < cb;
-                     }
-                     return false;
-                   });
+  WallTimer sort_timer;
+  std::vector<index_t> stride(d);
+  stride[d - 1] = 1;
+  for (std::size_t level = d - 1; level > 0; --level) {
+    stride[level - 1] = stride[level] * local.extent(dim_order_[level]);
+  }
+  std::vector<index_t> keys(n);
+  parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto p = coords.point(i);
+      index_t key = 0;
+      for (std::size_t level = 0; level < d; ++level) {
+        const std::size_t dim = dim_order_[level];
+        key += (p[dim] - box.lo(dim)) * stride[level];
+      }
+      keys[i] = key;
+    }
+  });
+  const std::vector<std::size_t> perm = parallel_sort_permutation(keys);
+  build_sort_seconds_ = sort_timer.seconds();
+
+  // Gather the sorted points once into a flat buffer already permuted into
+  // dim_order_, so the tree-build pass below streams contiguously instead
+  // of chasing coords.point(perm[rank]) through the original layout.
+  std::vector<index_t> sorted_pts(n * d);
+  parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t rank = lo; rank < hi; ++rank) {
+      const auto p = coords.point(perm[rank]);
+      for (std::size_t level = 0; level < d; ++level) {
+        sorted_pts[rank * d + level] = p[dim_order_[level]];
+      }
+    }
+  });
 
   // Lines 8-18: build the tree level by level in one pass over the sorted
   // points. A point opens a new node at every level from the first level at
   // which it differs from its predecessor down to the leaf.
   fids_.assign(d, {});
   fptr_.assign(d > 0 ? d - 1 : 0, {});
-  std::span<const index_t> prev{};
+  const index_t* prev = nullptr;
   for (std::size_t rank = 0; rank < n; ++rank) {
-    const auto p = coords.point(perm[rank]);
+    const index_t* p = sorted_pts.data() + rank * d;
     std::size_t first_diff = 0;
     if (rank != 0) {
-      while (first_diff < d &&
-             p[dim_order_[first_diff]] == prev[dim_order_[first_diff]]) {
+      while (first_diff < d && p[first_diff] == prev[first_diff]) {
         ++first_diff;
       }
       // Exact duplicate coordinates still get their own leaf entry so every
@@ -74,7 +100,7 @@ std::vector<std::size_t> CsfFormat::build(const CoordBuffer& coords,
       if (level + 1 < d) {
         fptr_[level].push_back(fids_[level + 1].size());
       }
-      fids_[level].push_back(p[dim_order_[level]]);
+      fids_[level].push_back(p[level]);
     }
     prev = p;
   }

@@ -95,8 +95,18 @@ class SparseFormat {
   /// Dense shape the format was built against.
   virtual const Shape& tensor_shape() const = 0;
 
+  /// Wall seconds the most recent build() spent deriving its sort
+  /// permutation (key precompute + sort / counting pass); 0 for formats
+  /// that do not sort or before any build. Feeds WriteBreakdown.build_sort
+  /// so Table III can split Build into its parallelizable sort stage and
+  /// the serial structure assembly.
+  double last_build_sort_seconds() const { return build_sort_seconds_; }
+
  protected:
   SparseFormat() = default;
+
+  /// Set by sorting formats' build() around their permutation stage.
+  double build_sort_seconds_ = 0.0;
 };
 
 /// Convenience: serializes the format into a fresh byte buffer.

@@ -4,6 +4,7 @@
 #include "core/linearize.hpp"
 #include "core/parallel.hpp"
 #include "core/sort.hpp"
+#include "core/timer.hpp"
 
 namespace artsparse {
 
@@ -14,6 +15,7 @@ std::vector<std::size_t> GcsrFormat::build(const CoordBuffer& coords,
   shape_ = shape;
   row_ptr_.clear();
   col_ind_.clear();
+  build_sort_seconds_ = 0.0;
 
   if (coords.empty()) {
     local_box_ = Box();
@@ -30,35 +32,41 @@ std::vector<std::size_t> GcsrFormat::build(const CoordBuffer& coords,
   rows_ = flat.rows;
   cols_ = flat.cols;
 
-  // Lines 7-11: transform each point to its 2-D coordinates.
+  // Lines 7-11: transform each point to its 2-D coordinates; every point
+  // writes only its own slots, so the transform fans out across workers.
   const std::size_t n = coords.size();
   std::vector<index_t> row_of(n);
   std::vector<index_t> col_of(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    index_t row = 0;
-    index_t col = 0;
-    to_2d(coords.point(i), row, col);
-    row_of[i] = row;
-    col_of[i] = col;
-  }
+  parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      index_t row = 0;
+      index_t col = 0;
+      to_2d(coords.point(i), row, col);
+      row_of[i] = row;
+      col_of[i] = col;
+    }
+  });
 
-  // Line 12: sort by the first 2-D dimension (row). The stable sort keeps
-  // input order within a row, which is why row searches are linear scans.
-  const std::vector<std::size_t> perm = sort_permutation(row_of);
+  // Lines 12-13 fused: rows are bounded by the smallest boundary extent,
+  // so one stable counting pass yields the permutation *and* row_ptr_ in
+  // O(n + rows) — no comparison sort, no second pass over sorted data.
+  // Counting sort is stable, so the permutation is identical to the
+  // comparison path's for any thread count (input order within a row is
+  // what keeps row searches linear scans).
+  WallTimer sort_timer;
+  std::vector<std::size_t> perm;
+  if (counting_sort_applicable(n, static_cast<std::size_t>(rows_))) {
+    CountingSort counting =
+        counting_sort_permutation(row_of, static_cast<std::size_t>(rows_));
+    row_ptr_ = std::move(counting.ptr);
+    perm = std::move(counting.perm);
+  } else {
+    perm = parallel_sort_permutation(row_of);
+    row_ptr_ = histogram_prefix(row_of, static_cast<std::size_t>(rows_));
+  }
+  build_sort_seconds_ = sort_timer.seconds();
 
-  // Line 13: package as CSR — counting sort of rows into row_ptr_.
-  row_ptr_.assign(static_cast<std::size_t>(rows_) + 1, 0);
-  for (index_t row : row_of) {
-    ++row_ptr_[static_cast<std::size_t>(row) + 1];
-  }
-  for (std::size_t r = 0; r < static_cast<std::size_t>(rows_); ++r) {
-    row_ptr_[r + 1] += row_ptr_[r];
-  }
-  col_ind_.resize(n);
-  for (std::size_t rank = 0; rank < n; ++rank) {
-    col_ind_[rank] = col_of[perm[rank]];
-  }
-
+  col_ind_ = parallel_gather<index_t>(col_of, perm);
   return invert_permutation(perm);
 }
 

@@ -5,6 +5,7 @@
 #include "check/issues.hpp"
 #include "core/linearize.hpp"
 #include "core/sort.hpp"
+#include "core/timer.hpp"
 
 namespace artsparse {
 
@@ -13,10 +14,13 @@ std::vector<std::size_t> SortedCooFormat::build(const CoordBuffer& coords,
   detail::require(coords.rank() == shape.rank(),
                   "coordinate rank does not match shape rank");
   shape_ = shape;
+  build_sort_seconds_ = 0.0;
   // Lexicographic coordinate order equals ascending row-major address order,
   // so sorting by linear address gives the binary-searchable layout.
+  WallTimer sort_timer;
   const std::vector<index_t> addresses = linearize_all(coords, shape);
-  const std::vector<std::size_t> perm = sort_permutation(addresses);
+  const std::vector<std::size_t> perm = parallel_sort_permutation(addresses);
+  build_sort_seconds_ = sort_timer.seconds();
   coords_ = coords.permuted(perm);
   return invert_permutation(perm);
 }

@@ -83,8 +83,11 @@ WriteResult FragmentStore::write(const CoordBuffer& coords,
   const std::vector<std::size_t> map = format->build(coords, shape_);
   build_span.end();
   result.times.build = timer.seconds();
+  result.times.build_sort = format->last_build_sort_seconds();
   ARTSPARSE_OBSERVE_L("artsparse_format_build_ns", "org", to_string(org),
                       result.times.build * 1e9);
+  ARTSPARSE_OBSERVE_L("artsparse_format_build_sort_ns", "org", to_string(org),
+                      result.times.build_sort * 1e9);
 
   // Reorganize b_data based on map if necessary (line 5). COO/LINEAR return
   // the identity; skip the gather entirely, matching the paper's zero-cost
@@ -102,10 +105,15 @@ WriteResult FragmentStore::write(const CoordBuffer& coords,
   if (identity) {
     reorganized.assign(values.begin(), values.end());
   } else {
+    // `map` is a permutation (build() inverts its sort permutation), so
+    // every slot is written exactly once — the scatter chunks across
+    // workers without write conflicts.
     reorganized.resize(values.size());
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      reorganized[map[i]] = values[i];
-    }
+    parallel_for(0, values.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        reorganized[map[i]] = values[i];
+      }
+    });
   }
   reorg_span.end();
   result.times.reorg = timer.seconds();

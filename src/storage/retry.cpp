@@ -1,6 +1,7 @@
 #include "storage/retry.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -10,7 +11,24 @@
 
 namespace artsparse {
 
-double RetryPolicy::delay_seconds(std::size_t attempt) const {
+namespace detail {
+
+namespace {
+std::atomic<std::uint64_t> g_retry_nonce{0};
+}  // namespace
+
+std::uint64_t next_retry_nonce() {
+  return g_retry_nonce.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void reset_retry_nonce_for_testing(std::uint64_t value) {
+  g_retry_nonce.store(value, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+double RetryPolicy::delay_seconds(std::size_t attempt,
+                                  std::uint64_t nonce) const {
   if (attempt == 0 || base_delay_sec <= 0.0) return 0.0;
   // min(cap, base * 2^(attempt-1)), computed without overflow: once the
   // doubling passes the cap it can only stay there.
@@ -20,7 +38,12 @@ double RetryPolicy::delay_seconds(std::size_t attempt) const {
   }
   delay = std::min(delay, cap_delay_sec);
   if (jitter > 0.0) {
-    SplitMix64 rng(seed + attempt);
+    // Seeding with seed + attempt alone made every concurrent operation
+    // sharing a policy compute *identical* backoffs — lockstep retries,
+    // the exact herd jitter exists to break. The golden-ratio-scaled nonce
+    // moves each call onto its own SplitMix64 stream (nonce 0 keeps the
+    // legacy stream for fixed-seed tests).
+    SplitMix64 rng(seed + attempt + nonce * 0x9e3779b97f4a7c15ULL);
     const double unit =
         static_cast<double>(rng.next() >> 11) / 9007199254740992.0;  // 2^53
     delay *= 1.0 + jitter * (unit - 0.5);
@@ -33,6 +56,7 @@ RetryStats retry_io(const RetryPolicy& policy,
   RetryStats stats;
   const std::size_t max_attempts =
       std::max<std::size_t>(policy.max_attempts, 1);
+  const std::uint64_t nonce = detail::next_retry_nonce();
   for (std::size_t attempt = 1;; ++attempt) {
     // Counted per try (not on return) so exhausted operations still show
     // their attempts in the registry.
@@ -45,7 +69,7 @@ RetryStats retry_io(const RetryPolicy& policy,
     } catch (const IoError& e) {
       if (!e.retryable() || attempt >= max_attempts) throw;
       ARTSPARSE_COUNT("artsparse_store_io_retries_total", 1);
-      const double delay = policy.delay_seconds(attempt);
+      const double delay = policy.delay_seconds(attempt, nonce);
       if (delay > 0.0) {
         std::this_thread::sleep_for(std::chrono::duration<double>(delay));
         stats.backoff_seconds += delay;

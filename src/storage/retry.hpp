@@ -26,9 +26,26 @@ struct RetryPolicy {
   static RetryPolicy none() { return RetryPolicy{1, 0.0, 0.0, 0.0, 0}; }
 
   /// Backoff to sleep after failed attempt `attempt` (1-based). Always in
-  /// [0, cap_delay_sec * (1 + jitter / 2)].
-  double delay_seconds(std::size_t attempt) const;
+  /// [0, cap_delay_sec * (1 + jitter / 2)]. `nonce` shifts the jitter
+  /// stream so concurrent operations sharing one policy (same seed) do not
+  /// retry in lockstep; nonce 0 reproduces the bare seed+attempt stream.
+  /// Deterministic in (seed, attempt, nonce).
+  double delay_seconds(std::size_t attempt, std::uint64_t nonce) const;
+  double delay_seconds(std::size_t attempt) const {
+    return delay_seconds(attempt, 0);
+  }
 };
+
+namespace detail {
+
+/// Process-wide jitter nonce: each retry_io() call draws the next value so
+/// concurrent retries de-synchronize even under one shared RetryPolicy.
+std::uint64_t next_retry_nonce();
+
+/// Test-only: pins the counter so backoff sequences are reproducible.
+void reset_retry_nonce_for_testing(std::uint64_t value);
+
+}  // namespace detail
 
 /// What a retried operation cost.
 struct RetryStats {

@@ -1,8 +1,22 @@
 #include "storage/throttle.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "core/timer.hpp"
 
 namespace artsparse {
+
+namespace {
+
+/// Tail of the charge window served by spinning. Sleeping the whole window
+/// would leave scheduler wake-up granularity (~ms, worse under load) in
+/// the measurement; spinning the whole window burned a full core for the
+/// entire modeled transfer. Sleep up to this close to the deadline, then
+/// spin the rest for precision.
+constexpr double kSpinTailSec = 1e-3;
+
+}  // namespace
 
 ThrottledFile::ThrottledFile(std::unique_ptr<FileDevice> inner,
                              DeviceModel model)
@@ -12,9 +26,13 @@ void ThrottledFile::charge(double seconds, double already_spent) const {
   if (seconds <= already_spent) return;
   WallTimer timer;
   const double remaining = seconds - already_spent;
+  if (remaining > kSpinTailSec) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(remaining - kSpinTailSec));
+  }
   while (timer.seconds() < remaining) {
-    // Deterministic spin: keeps the charged time proportional to bytes
-    // moved without depending on scheduler sleep granularity.
+    // Spin only the final ~1 ms: keeps the charged time proportional to
+    // bytes moved without a core-burning wait for the whole transfer.
   }
 }
 

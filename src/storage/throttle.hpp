@@ -6,9 +6,10 @@
 // free, hiding exactly the effect the paper measures — so benches route
 // fragment traffic through this throttle, which models a parallel-file-
 // system client as a fixed per-operation latency plus a finite bandwidth.
-// The model *spins deterministically* (no sleeps), so timings are stable
-// and proportional to bytes moved. An unthrottled passthrough is the
-// default for correctness paths.
+// The model sleeps most of the charge window and spins only the final
+// ~1 ms, so timings stay proportional to bytes moved (sub-ms precision)
+// without burning a core for the whole modeled transfer. An unthrottled
+// passthrough is the default for correctness paths.
 #pragma once
 
 #include <memory>
@@ -49,8 +50,9 @@ class ThrottledFile final : public FileDevice {
   void sync() override;
 
  private:
-  /// Busy-waits until `seconds` of simulated device time have elapsed
-  /// beyond what the real operation already consumed.
+  /// Waits until `seconds` of simulated device time have elapsed beyond
+  /// what the real operation already consumed: sleeps all but the last
+  /// ~1 ms of the window, then spins the tail for precision.
   void charge(double seconds, double already_spent) const;
 
   std::unique_ptr<FileDevice> inner_;

@@ -55,6 +55,7 @@ TiledWriteResult TiledStore::write(const CoordBuffer& coords,
     result.file_bytes += written.file_bytes;
     result.index_bytes += written.index_bytes;
     result.times.build += written.times.build;
+    result.times.build_sort += written.times.build_sort;
     result.times.reorg += written.times.reorg;
     result.times.write += written.times.write;
     result.times.others += written.times.others;

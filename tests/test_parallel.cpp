@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <string>
+#include <system_error>
 
 #include "core/error.hpp"
 #include "core/linearize.hpp"
@@ -12,8 +15,130 @@
 namespace artsparse {
 namespace {
 
+/// Pins ARTSPARSE_THREADS for one test and restores the prior value after.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* old = std::getenv("ARTSPARSE_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value) {
+      ::setenv("ARTSPARSE_THREADS", value, 1);
+    } else {
+      ::unsetenv("ARTSPARSE_THREADS");
+    }
+  }
+  ~ScopedThreadsEnv() {
+    if (had_old_) {
+      ::setenv("ARTSPARSE_THREADS", old_.c_str(), 1);
+    } else {
+      ::unsetenv("ARTSPARSE_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+unsigned hardware_fallback() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 TEST(Parallel, WorkerCountAtLeastOne) {
   EXPECT_GE(worker_count(), 1u);
+}
+
+TEST(Parallel, WorkerCountHonorsWellFormedEnv) {
+  const ScopedThreadsEnv env("7");
+  EXPECT_EQ(worker_count(), 7u);
+}
+
+TEST(Parallel, WorkerCountIgnoresTrailingGarbage) {
+  // "4x" used to parse as 4 via strtol's longest-prefix rule; a malformed
+  // setting must fall back to hardware, not honor the accidental prefix.
+  const ScopedThreadsEnv env("4x");
+  EXPECT_EQ(worker_count(), hardware_fallback());
+}
+
+TEST(Parallel, WorkerCountIgnoresEmptyZeroAndNegative) {
+  {
+    const ScopedThreadsEnv env("");
+    EXPECT_EQ(worker_count(), hardware_fallback());
+  }
+  {
+    const ScopedThreadsEnv env("0");
+    EXPECT_EQ(worker_count(), hardware_fallback());
+  }
+  {
+    const ScopedThreadsEnv env("-3");
+    EXPECT_EQ(worker_count(), hardware_fallback());
+  }
+}
+
+TEST(Parallel, WorkerCountClampsOversizedValues) {
+  // 2^32 used to wrap to 0 through the long -> unsigned conversion,
+  // violating the ">= 1 worker" contract; values past the clamp (including
+  // out-of-range strings strtoll saturates) now pin to kMaxWorkerThreads.
+  {
+    const ScopedThreadsEnv env("4294967296");  // 2^32
+    EXPECT_EQ(worker_count(), kMaxWorkerThreads);
+  }
+  {
+    const ScopedThreadsEnv env("99999999999999999999");  // > LLONG_MAX
+    EXPECT_EQ(worker_count(), kMaxWorkerThreads);
+  }
+  {
+    const ScopedThreadsEnv env("1025");
+    EXPECT_EQ(worker_count(), kMaxWorkerThreads);
+  }
+  {
+    const ScopedThreadsEnv env("1024");
+    EXPECT_EQ(worker_count(), 1024u);
+  }
+}
+
+// State for the failing-spawner hook (function pointer: no captures).
+std::atomic<int> g_spawn_calls{0};
+std::atomic<int> g_spawned_ran{0};
+
+std::thread failing_second_spawn(std::function<void()> work) {
+  if (g_spawn_calls.fetch_add(1) == 1) {
+    throw std::system_error(std::make_error_code(
+        std::errc::resource_unavailable_try_again));
+  }
+  return std::thread([work = std::move(work)] {
+    g_spawned_ran.fetch_add(1);
+    work();
+  });
+}
+
+TEST(Parallel, SpawnFailureMidLoopJoinsStartedWorkersAndPropagates) {
+  // Faking thread exhaustion on the second spawn: before the fix the first
+  // worker's std::thread destructor ran joinable and the process died in
+  // std::terminate instead of surfacing the error.
+  g_spawn_calls.store(0);
+  g_spawned_ran.store(0);
+  detail::set_thread_spawner_for_testing(&failing_second_spawn);
+  std::atomic<std::size_t> covered{0};
+  try {
+    EXPECT_THROW(parallel_for(
+                     0, kParallelGrain * 4,
+                     [&](std::size_t lo, std::size_t hi) {
+                       covered.fetch_add(hi - lo);
+                     },
+                     4),
+                 std::system_error);
+  } catch (...) {
+    detail::set_thread_spawner_for_testing(nullptr);
+    throw;
+  }
+  detail::set_thread_spawner_for_testing(nullptr);
+  // The worker spawned before the failure was joined, not abandoned.
+  EXPECT_EQ(g_spawn_calls.load(), 2);
+  EXPECT_EQ(g_spawned_ran.load(), 1);
+  EXPECT_EQ(covered.load(), kParallelGrain);  // first chunk of 4 completed
 }
 
 TEST(Parallel, CoversEveryIndexExactlyOnce) {

@@ -1,0 +1,171 @@
+// Determinism suite for the parallel build pipeline: every format's
+// build() must be a pure function of its input — the serialized fragment
+// bytes and the returned `map` vector may not vary with ARTSPARSE_THREADS.
+// The contract rests on stable-sort uniqueness: a stable sort's output
+// permutation is fully determined by the keys, so the chunk-sort + merge
+// path, the counting path, and the serial path are interchangeable.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/coords.hpp"
+#include "core/rng.hpp"
+#include "core/shape.hpp"
+#include "core/sort.hpp"
+#include "formats/format.hpp"
+#include "formats/registry.hpp"
+#include "patterns/dataset.hpp"
+
+namespace artsparse {
+namespace {
+
+/// Thread counts the suite sweeps: serial, even, odd-prime, and whatever
+/// the host hardware reports.
+std::vector<const char*> thread_settings() {
+  return {"1", "2", "7", nullptr};  // nullptr = unset (hardware)
+}
+
+void set_threads(const char* value) {
+  if (value) {
+    ::setenv("ARTSPARSE_THREADS", value, 1);
+  } else {
+    ::unsetenv("ARTSPARSE_THREADS");
+  }
+}
+
+class ParallelBuild : public ::testing::Test {
+ protected:
+  // Restore (not just unset) the ambient value: CI runs the whole suite
+  // with ARTSPARSE_THREADS pinned, and later tests must still see it.
+  void SetUp() override {
+    const char* ambient = std::getenv("ARTSPARSE_THREADS");
+    had_ambient_ = ambient != nullptr;
+    if (had_ambient_) ambient_ = ambient;
+  }
+  void TearDown() override {
+    if (had_ambient_) {
+      ::setenv("ARTSPARSE_THREADS", ambient_.c_str(), 1);
+    } else {
+      ::unsetenv("ARTSPARSE_THREADS");
+    }
+  }
+
+ private:
+  bool had_ambient_ = false;
+  std::string ambient_;
+};
+
+/// Large enough to clear kParallelGrain so the parallel paths engage.
+CoordBuffer dense_random_coords(std::size_t n, const Shape& shape,
+                                std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<index_t> flat;
+  flat.reserve(n * shape.rank());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t dim = 0; dim < shape.rank(); ++dim) {
+      flat.push_back(rng.next_below(shape.extent(dim)));
+    }
+  }
+  return CoordBuffer(shape.rank(), std::move(flat));
+}
+
+/// Formats to sweep. BCSR rejects duplicate coordinates by contract, so
+/// duplicate-bearing inputs exclude it.
+std::vector<OrgKind> swept_orgs(bool has_duplicates) {
+  std::vector<OrgKind> orgs;
+  for (OrgKind org : all_org_kinds()) {
+    if (has_duplicates && org == OrgKind::kBcsr) continue;
+    orgs.push_back(org);
+  }
+  return orgs;
+}
+
+void expect_identical_across_threads(const CoordBuffer& coords,
+                                     const Shape& shape,
+                                     bool has_duplicates = false) {
+  for (OrgKind org : swept_orgs(has_duplicates)) {
+    Bytes baseline_bytes;
+    std::vector<std::size_t> baseline_map;
+    bool first = true;
+    for (const char* threads : thread_settings()) {
+      set_threads(threads);
+      auto format = make_format(org);
+      std::vector<std::size_t> map = format->build(coords, shape);
+      Bytes bytes = serialize_format(*format);
+      const std::string label =
+          to_string(org) + " threads=" + (threads ? threads : "hw");
+      if (first) {
+        baseline_bytes = std::move(bytes);
+        baseline_map = std::move(map);
+        first = false;
+      } else {
+        EXPECT_EQ(bytes, baseline_bytes) << label;
+        EXPECT_EQ(map, baseline_map) << label;
+      }
+    }
+    ::unsetenv("ARTSPARSE_THREADS");
+  }
+}
+
+TEST_F(ParallelBuild, EveryFormatByteIdenticalAcrossThreadCounts) {
+  // Small extents force heavy key duplication: each of the ~131k points
+  // collides with many others in every sort key, so tie-breaking order is
+  // what the serialized bytes actually witness.
+  const Shape shape{16, 16, 16, 16};
+  expect_identical_across_threads(
+      dense_random_coords(kParallelGrain * 4 + 7, shape, 97), shape,
+      /*has_duplicates=*/true);
+}
+
+TEST_F(ParallelBuild, DuplicateCoordinatesKeepInputOrder) {
+  // Exact duplicate points: their relative order in the value buffer is
+  // observable through `map` and must not depend on which chunk sorted
+  // them.
+  const Shape shape{8, 8};
+  CoordBuffer coords(2);
+  Xoshiro256 rng(5);
+  for (std::size_t i = 0; i < kParallelGrain * 2; ++i) {
+    const index_t r = rng.next_below(8);
+    const index_t c = rng.next_below(8);
+    coords.append({r, c});
+    coords.append({r, c});  // every point appears at least twice
+  }
+  expect_identical_across_threads(coords, shape, /*has_duplicates=*/true);
+}
+
+TEST_F(ParallelBuild, AllEqualCoordinates) {
+  // One coordinate repeated past the grain: every key comparison ties.
+  const Shape shape{4, 4, 4};
+  CoordBuffer coords(3);
+  for (std::size_t i = 0; i < kParallelGrain + 100; ++i) {
+    coords.append({1, 2, 3});
+  }
+  expect_identical_across_threads(coords, shape, /*has_duplicates=*/true);
+}
+
+TEST_F(ParallelBuild, PatternDatasetMatchesAcrossThreadCounts) {
+  // A realistic generator-produced dataset (no duplicates, structured
+  // sparsity) through the same sweep.
+  const Shape shape{64, 64, 64};
+  const SparseDataset dataset = make_dataset(shape, GspConfig{0.5}, 31);
+  ASSERT_GT(dataset.point_count(), kParallelGrain);
+  expect_identical_across_threads(dataset.coords, shape);
+}
+
+TEST_F(ParallelBuild, MapIsAlwaysAPermutation) {
+  const Shape shape{16, 16, 16};
+  const CoordBuffer coords =
+      dense_random_coords(kParallelGrain * 2, shape, 13);
+  ::setenv("ARTSPARSE_THREADS", "7", 1);
+  for (OrgKind org : swept_orgs(/*has_duplicates=*/true)) {
+    auto format = make_format(org);
+    const std::vector<std::size_t> map = format->build(coords, shape);
+    EXPECT_TRUE(is_permutation_of_iota(map)) << to_string(org);
+  }
+}
+
+}  // namespace
+}  // namespace artsparse

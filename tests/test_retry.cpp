@@ -100,6 +100,40 @@ TEST_F(Retry, JitteredDelaysAreBoundedAndDeterministic) {
   EXPECT_NE(policy.delay_seconds(1), reseeded.delay_seconds(1));
 }
 
+TEST_F(Retry, ConcurrentCallsDrawDistinctJitterStreams) {
+  // Seeding jitter with seed + attempt alone made every retry_io() call
+  // sharing one policy sleep *identical* backoffs — a lockstep retry herd.
+  // Each call must draw its own nonce and land on a distinct stream.
+  RetryPolicy policy = fast_policy(4);
+  policy.jitter = 0.9;
+  EXPECT_NE(policy.delay_seconds(1, 1), policy.delay_seconds(1, 2));
+
+  detail::reset_retry_nonce_for_testing(0);
+  auto one_retry = [&] {
+    bool failed = false;
+    const RetryStats stats = retry_io(policy, [&] {
+      if (!failed) {
+        failed = true;
+        throw IoError::with_errno("write", "p", EINTR);
+      }
+    });
+    EXPECT_EQ(stats.retries, 1u);
+    return stats.backoff_seconds;
+  };
+  const double first = one_retry();
+  const double second = one_retry();
+  EXPECT_NE(first, second) << "consecutive calls retried in lockstep";
+
+  // Still deterministic: pinning the nonce counter reproduces the exact
+  // backoff sequence under a fixed seed.
+  detail::reset_retry_nonce_for_testing(0);
+  EXPECT_DOUBLE_EQ(one_retry(), first);
+  EXPECT_DOUBLE_EQ(one_retry(), second);
+
+  // nonce 0 (the single-arg overload) keeps the legacy stream.
+  EXPECT_DOUBLE_EQ(policy.delay_seconds(2), policy.delay_seconds(2, 0));
+}
+
 TEST_F(Retry, TransientSequenceSucceedsWithinPolicy) {
   // write #1 EINTR, write #2 EAGAIN; the third attempt commits.
   FaultInjector::instance().configure("write:1:EINTR,write:2:EAGAIN");

@@ -86,5 +86,96 @@ TEST(Sort, RandomizedPermutationProperty) {
   }
 }
 
+std::vector<index_t> random_keys(std::size_t n, index_t bound,
+                                 std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<index_t> keys(n);
+  for (auto& k : keys) k = rng.next_below(bound);
+  return keys;
+}
+
+TEST(Sort, ParallelPermutationMatchesSerialAcrossThreadCounts) {
+  // The determinism contract: for *any* thread count the parallel sort
+  // must produce the exact permutation std::stable_sort does — a stable
+  // sort's output permutation is unique given the keys. Heavy duplication
+  // (bound 50 over 200k keys) exercises the tie-handling in every merge.
+  const std::size_t n = kParallelGrain * 6 + 123;
+  const auto keys = random_keys(n, 50, 11);
+  const auto serial = sort_permutation(keys);
+  for (unsigned threads : {1u, 2u, 3u, 7u, 16u}) {
+    EXPECT_EQ(parallel_sort_permutation(keys, threads), serial)
+        << "threads=" << threads;
+  }
+}
+
+TEST(Sort, ParallelPermutationAllEqualKeysIsIdentity) {
+  // All-equal keys: stability demands the identity permutation.
+  const std::vector<index_t> keys(kParallelGrain * 3, 42);
+  for (unsigned threads : {1u, 2u, 7u}) {
+    const auto perm = parallel_sort_permutation(keys, threads);
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      ASSERT_EQ(perm[i], i) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(Sort, ParallelPermutationSmallInputsAndWideKeys) {
+  const std::vector<index_t> empty;
+  const std::vector<index_t> one{9};
+  for (unsigned threads : {1u, 2u, 7u}) {
+    EXPECT_TRUE(parallel_sort_permutation(empty, threads).empty());
+    EXPECT_EQ(parallel_sort_permutation(one, threads),
+              (std::vector<std::size_t>{0}));
+  }
+  // Keys far beyond any counting range still sort correctly.
+  const auto keys = random_keys(kParallelGrain * 2, index_t{1} << 60, 3);
+  EXPECT_EQ(parallel_sort_permutation(keys, 7), sort_permutation(keys));
+}
+
+TEST(Sort, HistogramPrefixMatchesManualCount) {
+  const std::size_t buckets = 37;
+  const auto keys = random_keys(kParallelGrain * 4 + 5, buckets, 23);
+  std::vector<index_t> expected(buckets + 1, 0);
+  for (index_t k : keys) ++expected[static_cast<std::size_t>(k) + 1];
+  for (std::size_t b = 0; b < buckets; ++b) expected[b + 1] += expected[b];
+  for (unsigned threads : {1u, 2u, 7u}) {
+    EXPECT_EQ(histogram_prefix(keys, buckets, threads), expected)
+        << "threads=" << threads;
+  }
+  EXPECT_THROW(histogram_prefix(keys, 36, 1), FormatError);  // key >= buckets
+}
+
+TEST(Sort, CountingSortMatchesComparisonSort) {
+  const std::size_t buckets = 97;
+  const auto keys = random_keys(kParallelGrain * 4 + 31, buckets, 41);
+  const auto serial = sort_permutation(keys);
+  const auto ptr = histogram_prefix(keys, buckets, 1);
+  ASSERT_TRUE(counting_sort_applicable(keys.size(), buckets));
+  for (unsigned threads : {1u, 2u, 7u}) {
+    const CountingSort counting =
+        counting_sort_permutation(keys, buckets, threads);
+    EXPECT_EQ(counting.perm, serial) << "threads=" << threads;
+    EXPECT_EQ(counting.ptr, ptr) << "threads=" << threads;
+  }
+}
+
+TEST(Sort, CountingSortGateIsThreadIndependent) {
+  // The gate decides counting vs comparison purely from (n, buckets) so
+  // the chosen path — hence the bytes written — never depends on threads.
+  EXPECT_TRUE(counting_sort_applicable(10, 1 << 16));
+  EXPECT_FALSE(counting_sort_applicable(10, (1 << 16) + 1));
+  EXPECT_TRUE(counting_sort_applicable(1 << 20, 1 << 20));
+}
+
+TEST(Sort, ParallelGatherMatchesApplyPermutation) {
+  const auto keys = random_keys(kParallelGrain * 3, 1000, 53);
+  const auto perm = sort_permutation(keys);
+  const auto expected = apply_permutation<index_t>(keys, perm);
+  for (unsigned threads : {1u, 2u, 7u}) {
+    EXPECT_EQ(parallel_gather<index_t>(keys, perm, threads), expected)
+        << "threads=" << threads;
+  }
+}
+
 }  // namespace
 }  // namespace artsparse

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <ctime>
 #include <filesystem>
 
 #include "core/timer.hpp"
@@ -69,6 +70,39 @@ TEST_F(Throttle, LargerWritesCostProportionallyMore) {
   const double t_large = timer.seconds();
   EXPECT_GT(t_large, 2.5 * t_small);
   EXPECT_LT(t_large, 6.0 * t_small);
+}
+
+TEST_F(Throttle, ChargeSleepsInsteadOfSpinning) {
+  // charge() used to busy-wait the whole modeled transfer, burning a full
+  // core for what the model says is device time. It must now sleep all but
+  // the final ~1 ms tail: thread CPU time stays far below wall time while
+  // the wall time still honors the modeled window.
+  auto thread_cpu_seconds = [] {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  };
+
+  // 2 MB at 10 MB/s: a 0.2 s charge window.
+  const DeviceModel model{10e6, 0.0};
+  auto device = open_for_write((dir_ / "f.bin").string(), model);
+  const Bytes payload(2 << 20, std::byte{0});
+
+  const double cpu_before = thread_cpu_seconds();
+  WallTimer timer;
+  device->write_all(payload);
+  const double wall = timer.seconds();
+  const double cpu = thread_cpu_seconds() - cpu_before;
+
+  // Wall time within tolerance of the modeled window: no undershoot, and
+  // the oversleep stays bounded (sleep wakes early by design, the spin
+  // tail absorbs scheduler slop).
+  EXPECT_GE(wall, 0.195);
+  EXPECT_LT(wall, 0.4);
+  // A spinning implementation spends ~the whole window on-CPU; the
+  // sleeping one only the spin tail plus the actual write.
+  EXPECT_LT(cpu, wall / 2.0);
 }
 
 TEST_F(Throttle, ThrottledReadReturnsCorrectData) {
