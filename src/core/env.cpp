@@ -1,0 +1,34 @@
+#include "core/env.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace artsparse {
+
+std::optional<std::uint64_t> parse_env_u64(const char* text,
+                                           std::uint64_t floor,
+                                           std::uint64_t ceiling) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  // strtoull skips leading whitespace and silently negates "-1" into a
+  // huge positive value; require the value to start with a digit so a
+  // signed or padded setting reads as malformed, not as 2^64-1.
+  if (*text < '0' || *text > '9') return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(text, &end, 10);
+  // No digits consumed, or trailing garbage ("64K", "4x"): the setting is
+  // malformed — ignore it rather than honoring the accidental prefix.
+  if (end == text || *end != '\0') return std::nullopt;
+  // ERANGE saturates strtoull at ULLONG_MAX, which the ceiling clamp
+  // absorbs along with every other oversized value.
+  if (parsed > ceiling) return ceiling;
+  if (parsed < floor) return std::nullopt;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+std::optional<std::uint64_t> env_u64(const char* name, std::uint64_t floor,
+                                     std::uint64_t ceiling) {
+  return parse_env_u64(std::getenv(name), floor, ceiling);
+}
+
+}  // namespace artsparse

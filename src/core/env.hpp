@@ -1,0 +1,35 @@
+// Hardened environment-variable parsing, shared by every ARTSPARSE_* knob.
+//
+// PR 5 established the parsing contract for ARTSPARSE_THREADS: reject an
+// empty value and trailing garbage ("4x") instead of honoring the
+// accidental prefix, treat values below the knob's floor as malformed, and
+// clamp oversized values (including ERANGE saturation) to the knob's
+// ceiling instead of letting an integer conversion wrap to nonsense. This
+// header is that contract as a reusable helper, so the cache budget, trace
+// capacity, worker count, and the service layer's ARTSPARSE_TENANT_*
+// quota knobs all parse the same way.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace artsparse {
+
+/// Parses the environment variable `name` as a base-10 unsigned integer.
+///
+/// Returns nullopt when the variable is unset, empty, has trailing
+/// garbage, is negative, or parses below `floor` — malformed settings are
+/// ignored in favor of the caller's default rather than half-honored.
+/// Values above `ceiling` (including strtoull's ERANGE saturation) clamp
+/// to `ceiling`.
+std::optional<std::uint64_t> env_u64(
+    const char* name, std::uint64_t floor = 0,
+    std::uint64_t ceiling = UINT64_MAX);
+
+/// env_u64 over an explicit text value instead of the process environment
+/// (testable core; env_u64 is getenv + this).
+std::optional<std::uint64_t> parse_env_u64(
+    const char* text, std::uint64_t floor = 0,
+    std::uint64_t ceiling = UINT64_MAX);
+
+}  // namespace artsparse

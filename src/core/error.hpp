@@ -56,6 +56,25 @@ class IoError : public Error {
   int errno_value_ = 0;
 };
 
+/// A request bounced by admission control before any work ran: the tenant
+/// was over one of its quotas. Carries which tenant and which quota axis
+/// ("ops", "bytes", or "concurrency") so callers and tests never parse the
+/// message text. The correct client response is back off and retry; the
+/// store's state is untouched.
+class OverloadedError : public Error {
+ public:
+  OverloadedError(const std::string& what, std::string tenant,
+                  std::string quota)
+      : Error(what), tenant_(std::move(tenant)), quota_(std::move(quota)) {}
+
+  const std::string& tenant() const { return tenant_; }
+  const std::string& quota() const { return quota_; }
+
+ private:
+  std::string tenant_;
+  std::string quota_;
+};
+
 namespace detail {
 /// Throws FormatError with `message` unless `condition` holds.
 void require(bool condition, const std::string& message);

@@ -1,10 +1,10 @@
 #include "core/parallel.hpp"
 
 #include <algorithm>
-#include <cerrno>
-#include <cstdlib>
 #include <exception>
 #include <mutex>
+
+#include "core/env.hpp"
 
 namespace artsparse {
 
@@ -34,21 +34,12 @@ std::thread spawn_worker(std::function<void()> work) {
 unsigned worker_count() {
   const unsigned hw = std::thread::hardware_concurrency();
   const unsigned fallback = hw == 0 ? 1 : hw;
-  if (const char* env = std::getenv("ARTSPARSE_THREADS")) {
-    char* end = nullptr;
-    errno = 0;
-    const long long parsed = std::strtoll(env, &end, 10);
-    // Trailing garbage ("4x") or an empty value means the setting is
-    // malformed — ignore it rather than honoring the accidental prefix.
-    const bool malformed = end == env || *end != '\0';
-    if (!malformed && parsed >= 1) {
-      // errno == ERANGE saturates strtoll at LLONG_MAX, which this min()
-      // clamps along with every other oversized value.
-      return static_cast<unsigned>(std::min<long long>(parsed,
-                                                       kMaxWorkerThreads));
-    }
-  }
-  return fallback;
+  // Hardened parse (core/env): empty values, trailing garbage ("4x"),
+  // negatives, and zero are ignored; oversized values clamp to
+  // kMaxWorkerThreads.
+  return static_cast<unsigned>(
+      env_u64("ARTSPARSE_THREADS", /*floor=*/1, kMaxWorkerThreads)
+          .value_or(fallback));
 }
 
 void parallel_for(std::size_t begin, std::size_t end,

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/env.hpp"
+
 namespace artsparse::obs {
 
 namespace {
@@ -40,12 +42,12 @@ std::uint64_t trace_now_ns() {
 TraceBuffer& TraceBuffer::global() {
   static TraceBuffer* instance = [] {
     auto* buffer = new TraceBuffer();  // never dies
-    if (const char* env = std::getenv("ARTSPARSE_TRACE_CAPACITY")) {
-      char* end = nullptr;
-      const unsigned long long capacity = std::strtoull(env, &end, 10);
-      if (end != env && capacity > 0) {
-        buffer->set_capacity(static_cast<std::size_t>(capacity));
-      }
+    // Hardened parse (core/env): "4096x" or "0" no longer half-apply; a
+    // runaway setting clamps at 16M retained spans.
+    if (const auto capacity =
+            env_u64("ARTSPARSE_TRACE_CAPACITY", /*floor=*/1,
+                    /*ceiling=*/std::size_t{1} << 24)) {
+      buffer->set_capacity(static_cast<std::size_t>(*capacity));
     }
     if (const char* env = std::getenv("ARTSPARSE_TRACE")) {
       if (env[0] != '\0' && env[0] != '0') {

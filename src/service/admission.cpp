@@ -1,0 +1,201 @@
+#include "service/admission.hpp"
+
+#include <atomic>
+#include <utility>
+
+#include "core/env.hpp"
+#include "core/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace artsparse {
+
+namespace {
+
+/// Clamp ceilings for the environment knobs: generous enough for any real
+/// deployment, small enough that a typo'd exponent cannot overflow the
+/// double-valued token buckets.
+constexpr std::uint64_t kMaxOpsPerSec = 1'000'000'000;            // 1e9
+constexpr std::uint64_t kMaxBytesPerSec = 1ull << 40;             // 1 TiB/s
+constexpr std::uint64_t kMaxConcurrent = 1'000'000;
+
+void count_rejected(const std::string& tenant, const char* axis) {
+  ARTSPARSE_COUNT_L("artsparse_service_rejected_total", "tenant", tenant, 1);
+  ARTSPARSE_COUNT_L("artsparse_service_rejected_by_axis_total", "axis", axis,
+                    1);
+}
+
+}  // namespace
+
+TenantQuota TenantQuota::from_env() {
+  TenantQuota quota;
+  if (const auto ops = env_u64("ARTSPARSE_TENANT_OPS_PER_SEC", /*floor=*/1,
+                               kMaxOpsPerSec)) {
+    quota.ops_per_sec = static_cast<double>(*ops);
+  }
+  if (const auto bytes = env_u64("ARTSPARSE_TENANT_BYTES_PER_SEC",
+                                 /*floor=*/1, kMaxBytesPerSec)) {
+    quota.bytes_per_sec = static_cast<double>(*bytes);
+  }
+  if (const auto conc = env_u64("ARTSPARSE_TENANT_MAX_CONCURRENT",
+                                /*floor=*/1, kMaxConcurrent)) {
+    quota.max_concurrent = static_cast<std::size_t>(*conc);
+  }
+  return quota;
+}
+
+/// Per-tenant live state. Buckets are heap-held so set_quota can swap them
+/// without disturbing in-flight accounting; in_flight is atomic so Ticket
+/// release never takes the controller mutex.
+struct Ticket::State {
+  std::string tenant;
+  TenantQuota quota;                 ///< guarded by the controller mutex
+  std::shared_ptr<TokenBucket> ops;  ///< swapped under the controller
+  std::shared_ptr<TokenBucket> bytes;  ///< mutex; buckets are thread-safe
+  std::atomic<std::size_t> in_flight{0};
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> rejected_ops{0};
+  std::atomic<std::uint64_t> rejected_bytes{0};
+  std::atomic<std::uint64_t> rejected_concurrency{0};
+
+  void apply(const TenantQuota& next) {
+    quota = next;
+    ops = std::make_shared<TokenBucket>(next.ops_per_sec);
+    bytes = std::make_shared<TokenBucket>(next.bytes_per_sec);
+  }
+};
+
+Ticket& Ticket::operator=(Ticket&& other) noexcept {
+  if (this != &other) {
+    release();
+    state_ = std::exchange(other.state_, nullptr);
+  }
+  return *this;
+}
+
+void Ticket::release() {
+  if (state_ == nullptr) return;
+  state_->in_flight.fetch_sub(1, std::memory_order_relaxed);
+  ARTSPARSE_COUNT_L("artsparse_service_completed_total", "tenant",
+                    state_->tenant, 1);
+  state_ = nullptr;
+}
+
+AdmissionController::AdmissionController(TenantQuota default_quota)
+    : default_quota_(default_quota) {}
+
+AdmissionController::~AdmissionController() = default;
+
+Ticket::State& AdmissionController::state_for(const std::string& tenant) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = tenants_[tenant];
+  if (!slot) {
+    slot = std::make_unique<Ticket::State>();
+    slot->tenant = tenant;
+    slot->apply(default_quota_);
+  }
+  return *slot;
+}
+
+Ticket AdmissionController::admit(const std::string& tenant,
+                                  std::size_t estimated_bytes) {
+  Ticket::State& state = state_for(tenant);
+  // Snapshot the quota and buckets under the mutex so a concurrent
+  // set_quota can swap them safely; the buckets themselves are
+  // thread-safe and the shared_ptr keeps a swapped-out bucket alive for
+  // requests already holding it.
+  std::shared_ptr<TokenBucket> ops;
+  std::shared_ptr<TokenBucket> bytes;
+  std::size_t max_concurrent = 0;
+  {
+    const std::scoped_lock lock(mutex_);
+    ops = state.ops;
+    bytes = state.bytes;
+    max_concurrent = state.quota.max_concurrent;
+  }
+
+  // Concurrency first: claim the slot optimistically, back out on a lost
+  // race. Claiming before the buckets means a rejection on a later axis
+  // must return the slot, but never double-admits.
+  if (max_concurrent != 0) {
+    const std::size_t prior =
+        state.in_flight.fetch_add(1, std::memory_order_relaxed);
+    if (prior >= max_concurrent) {
+      state.in_flight.fetch_sub(1, std::memory_order_relaxed);
+      state.rejected_concurrency.fetch_add(1, std::memory_order_relaxed);
+      count_rejected(tenant, "concurrency");
+      throw OverloadedError("tenant '" + tenant +
+                                "' at max concurrent requests (" +
+                                std::to_string(max_concurrent) + ")",
+                            tenant, "concurrency");
+    }
+  } else {
+    state.in_flight.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (!ops->try_acquire(1.0)) {
+    state.in_flight.fetch_sub(1, std::memory_order_relaxed);
+    state.rejected_ops.fetch_add(1, std::memory_order_relaxed);
+    count_rejected(tenant, "ops");
+    throw OverloadedError("tenant '" + tenant + "' over ops/sec quota",
+                          tenant, "ops");
+  }
+
+  if (!bytes->try_acquire(static_cast<double>(estimated_bytes))) {
+    state.in_flight.fetch_sub(1, std::memory_order_relaxed);
+    state.rejected_bytes.fetch_add(1, std::memory_order_relaxed);
+    count_rejected(tenant, "bytes");
+    throw OverloadedError("tenant '" + tenant + "' over bytes/sec quota",
+                          tenant, "bytes");
+  }
+
+  state.admitted.fetch_add(1, std::memory_order_relaxed);
+  ARTSPARSE_COUNT_L("artsparse_service_admitted_total", "tenant", tenant, 1);
+  return Ticket(&state);
+}
+
+void AdmissionController::charge_bytes(const std::string& tenant,
+                                       std::size_t bytes) {
+  if (bytes == 0) return;
+  Ticket::State& state = state_for(tenant);
+  std::shared_ptr<TokenBucket> bucket;
+  {
+    const std::scoped_lock lock(mutex_);
+    bucket = state.bytes;
+  }
+  bucket->force_debit(static_cast<double>(bytes));
+}
+
+void AdmissionController::set_quota(const std::string& tenant,
+                                    const TenantQuota& quota) {
+  Ticket::State& state = state_for(tenant);
+  const std::scoped_lock lock(mutex_);
+  state.apply(quota);
+}
+
+TenantAdmissionStats AdmissionController::stats(
+    const std::string& tenant) const {
+  TenantAdmissionStats stats;
+  const std::scoped_lock lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return stats;
+  const Ticket::State& state = *it->second;
+  stats.admitted = state.admitted.load(std::memory_order_relaxed);
+  stats.rejected_ops = state.rejected_ops.load(std::memory_order_relaxed);
+  stats.rejected_bytes = state.rejected_bytes.load(std::memory_order_relaxed);
+  stats.rejected_concurrency =
+      state.rejected_concurrency.load(std::memory_order_relaxed);
+  stats.in_flight = state.in_flight.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::vector<std::string> AdmissionController::tenants() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, state] : tenants_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace artsparse

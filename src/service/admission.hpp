@@ -1,0 +1,124 @@
+// Admission control: per-tenant quotas enforced at the service boundary.
+//
+// Every Session operation passes through AdmissionController::admit()
+// before any storage work runs. Three independent quota axes per tenant,
+// each built on storage/throttle's TokenBucket (ops/sec, bytes/sec) or a
+// plain in-flight counter (concurrency). Over-quota requests are rejected
+// immediately with a typed OverloadedError naming the tenant and the axis
+// — admission control sheds load, it does not queue it; queuing is the
+// batcher's job (service/batch.hpp), shedding is this layer's.
+//
+// Byte quotas are charged in two halves: writes debit their payload at
+// admit time (the size is known), reads admit optimistically and
+// force-debit the bytes actually returned afterwards, which can push the
+// bucket into debt and throttle that tenant's *next* request — the
+// standard post-paid model for responses of unknown size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/throttle.hpp"
+
+namespace artsparse {
+
+/// Per-tenant limits. 0 on any axis means unlimited on that axis, so the
+/// default-constructed quota admits everything.
+struct TenantQuota {
+  double ops_per_sec = 0.0;
+  double bytes_per_sec = 0.0;
+  std::size_t max_concurrent = 0;
+
+  bool unlimited() const {
+    return ops_per_sec == 0.0 && bytes_per_sec == 0.0 && max_concurrent == 0;
+  }
+
+  /// Default quota from the ARTSPARSE_TENANT_OPS_PER_SEC,
+  /// ARTSPARSE_TENANT_BYTES_PER_SEC, and ARTSPARSE_TENANT_MAX_CONCURRENT
+  /// environment knobs. Parsed with the hardened core/env contract:
+  /// malformed values (trailing garbage, signs, empty) are ignored, and
+  /// absurd values clamp to sane maxima (1e9 ops/s, 1 TiB/s, 1e6
+  /// concurrent).
+  static TenantQuota from_env();
+};
+
+/// Point-in-time admission counters for one tenant.
+struct TenantAdmissionStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_ops = 0;
+  std::uint64_t rejected_bytes = 0;
+  std::uint64_t rejected_concurrency = 0;
+  std::size_t in_flight = 0;
+
+  std::uint64_t rejected() const {
+    return rejected_ops + rejected_bytes + rejected_concurrency;
+  }
+};
+
+class AdmissionController;
+
+/// RAII admission: holding a Ticket is holding one slot of the tenant's
+/// concurrency quota; the slot frees on destruction. Move-only.
+class Ticket {
+ public:
+  Ticket() = default;
+  Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+  Ticket& operator=(Ticket&& other) noexcept;
+  Ticket(const Ticket&) = delete;
+  Ticket& operator=(const Ticket&) = delete;
+  ~Ticket() { release(); }
+
+  bool admitted() const { return state_ != nullptr; }
+  void release();
+
+ private:
+  friend class AdmissionController;
+  struct State;
+  explicit Ticket(State* state) : state_(state) {}
+  State* state_ = nullptr;
+};
+
+/// Thread-safe per-tenant quota enforcement. Tenants appear lazily on
+/// first admit with the controller's default quota; set_quota() overrides
+/// per tenant at any time (applies to subsequent admits).
+class AdmissionController {
+ public:
+  explicit AdmissionController(TenantQuota default_quota = TenantQuota());
+  ~AdmissionController();  ///< out of line: Ticket::State is incomplete here
+
+  /// Admits one operation for `tenant`, debiting 1 op token and
+  /// `estimated_bytes` byte tokens. Throws OverloadedError (naming the
+  /// exhausted axis) without debiting anything when any axis rejects.
+  /// The returned Ticket holds the concurrency slot.
+  Ticket admit(const std::string& tenant, std::size_t estimated_bytes = 0);
+
+  /// Post-paid byte charge (reads): debits unconditionally, possibly into
+  /// debt. No-op for tenants without a bytes quota.
+  void charge_bytes(const std::string& tenant, std::size_t bytes);
+
+  /// Replaces `tenant`'s quota (rebuilding its buckets full). Counters
+  /// survive; in-flight tickets from the old quota still release safely.
+  void set_quota(const std::string& tenant, const TenantQuota& quota);
+
+  const TenantQuota& default_quota() const { return default_quota_; }
+
+  TenantAdmissionStats stats(const std::string& tenant) const;
+
+  /// Tenants seen so far (admitted or rejected at least once).
+  std::vector<std::string> tenants() const;
+
+ private:
+  Ticket::State& state_for(const std::string& tenant);
+
+  const TenantQuota default_quota_;
+  mutable std::mutex mutex_;
+  /// Stable addresses: Ticket holds a raw State* across the map's growth.
+  std::map<std::string, std::unique_ptr<Ticket::State>> tenants_;
+};
+
+}  // namespace artsparse

@@ -1,0 +1,76 @@
+#include "service/batch.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace artsparse {
+
+ReadResult BatchedReader::scan(const Box& region) {
+  auto pending = std::make_shared<Pending>();
+  pending->region = region;
+  std::future<ReadResult> future = pending->promise.get_future();
+
+  bool lead = false;
+  {
+    const std::scoped_lock lock(mutex_);
+    queue_.push_back(pending);
+    if (!leader_active_) {
+      leader_active_ = true;
+      lead = true;
+    }
+  }
+  if (!lead) return future.get();
+
+  // Leader: keep draining until no new scans queued up behind us. Each
+  // drain is one pinned snapshot + one scan_batch, so everything that
+  // queued together reads one consistent generation and shares fragment
+  // decodes.
+  while (true) {
+    std::vector<std::shared_ptr<Pending>> batch;
+    {
+      const std::scoped_lock lock(mutex_);
+      batch.swap(queue_);
+      if (batch.empty()) {
+        leader_active_ = false;
+        break;
+      }
+      ++stats_.batches;
+      stats_.requests += batch.size();
+      stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch,
+                                                 batch.size());
+    }
+    ARTSPARSE_COUNT("artsparse_service_batches_total", 1);
+    ARTSPARSE_COUNT("artsparse_service_batched_requests_total", batch.size());
+    ARTSPARSE_OBSERVE("artsparse_service_batch_size",
+                      static_cast<double>(batch.size()));
+
+    std::vector<Box> regions;
+    regions.reserve(batch.size());
+    for (const auto& entry : batch) {
+      regions.push_back(entry->region);
+    }
+    try {
+      const Snapshot snapshot = store_.snapshot();
+      std::vector<ReadResult> results = snapshot.scan_batch(regions);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch[i]->promise.set_value(std::move(results[i]));
+      }
+    } catch (...) {
+      // scan_batch is all-or-nothing (it throws before returning), so no
+      // promise in this batch has been fulfilled yet.
+      for (const auto& entry : batch) {
+        entry->promise.set_exception(std::current_exception());
+      }
+    }
+  }
+  return future.get();
+}
+
+BatchStats BatchedReader::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace artsparse

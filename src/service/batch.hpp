@@ -1,0 +1,60 @@
+// BatchedReader: group-commit for box scans. Concurrent callers of scan()
+// land their regions in a shared queue; one caller becomes the leader,
+// drains the queue into a single Snapshot::scan_batch() — which resolves
+// and decodes every fragment touched by the whole group exactly once —
+// and distributes the per-region results. Callers that arrive while a
+// batch is in flight queue up for the next one, so under concurrent load
+// overlapping queries coalesce naturally (the read-side analogue of a WAL
+// group commit). A lone caller pays one scan_region-equivalent, nothing
+// more. Results are byte-identical to issuing each region sequentially
+// through FragmentStore::scan_region.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "storage/fragment_store.hpp"
+
+namespace artsparse {
+
+/// Cumulative batching counters (also published to the obs registry as
+/// artsparse_service_batches_total / batched_requests_total).
+struct BatchStats {
+  std::uint64_t batches = 0;   ///< scan_batch executions
+  std::uint64_t requests = 0;  ///< scan() calls served
+  std::uint64_t max_batch = 0;
+
+  /// Requests that shared a batch with at least one other request.
+  std::uint64_t coalesced() const { return requests - batches; }
+};
+
+class BatchedReader {
+ public:
+  explicit BatchedReader(const FragmentStore& store) : store_(store) {}
+
+  /// Scans `region` against the store, batched with whatever other scans
+  /// are concurrently in flight. Every batch executes against one pinned
+  /// snapshot, so the group sees a single consistent generation. Blocks
+  /// until this region's result is ready; storage errors propagate to
+  /// every caller of the failed batch.
+  ReadResult scan(const Box& region);
+
+  BatchStats stats() const;
+
+ private:
+  struct Pending {
+    Box region;
+    std::promise<ReadResult> promise;
+  };
+
+  const FragmentStore& store_;
+  mutable std::mutex mutex_;
+  bool leader_active_ = false;       ///< guarded by mutex_
+  std::vector<std::shared_ptr<Pending>> queue_;  ///< guarded by mutex_
+  BatchStats stats_;                 ///< guarded by mutex_
+};
+
+}  // namespace artsparse

@@ -1,0 +1,105 @@
+#include "service/service.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace artsparse {
+
+namespace {
+
+void count_tenant_op(const std::string& tenant, std::uint64_t delta = 1) {
+  ARTSPARSE_COUNT_L("artsparse_tenant_ops_total", "tenant", tenant, delta);
+}
+
+}  // namespace
+
+Service::Service(FragmentStore& store, TenantQuota default_quota)
+    : store_(store), admission_(default_quota), batcher_(store) {}
+
+Session Service::session(std::string tenant) {
+  return Session(this, std::move(tenant));
+}
+
+std::size_t Session::result_bytes(const ReadResult& result) {
+  return result.values.size() * sizeof(value_t) +
+         result.coords.size() * result.coords.rank() * sizeof(index_t);
+}
+
+WriteResult Session::write(const CoordBuffer& coords,
+                           std::span<const value_t> values, OrgKind org) {
+  const std::size_t payload =
+      values.size() * sizeof(value_t) +
+      coords.size() * coords.rank() * sizeof(index_t);
+  const Ticket ticket = service_->admission_.admit(tenant_, payload);
+  ARTSPARSE_SPAN_TYPE span("service.write", "service");
+  span.attr("tenant", tenant_);
+  span.attr("points", static_cast<std::uint64_t>(coords.size()));
+  count_tenant_op(tenant_);
+  ARTSPARSE_COUNT_L("artsparse_tenant_write_bytes_total", "tenant", tenant_,
+                    payload);
+  return service_->store_.write(coords, values, org);
+}
+
+ReadResult Session::read(const CoordBuffer& queries) {
+  const Ticket ticket = service_->admission_.admit(tenant_);
+  ARTSPARSE_SPAN_TYPE span("service.read", "service");
+  span.attr("tenant", tenant_);
+  span.attr("queries", static_cast<std::uint64_t>(queries.size()));
+  count_tenant_op(tenant_);
+  ReadResult result = service_->store_.read(queries);
+  const std::size_t bytes = result_bytes(result);
+  ARTSPARSE_COUNT_L("artsparse_tenant_read_bytes_total", "tenant", tenant_,
+                    bytes);
+  service_->admission_.charge_bytes(tenant_, bytes);
+  return result;
+}
+
+ReadResult Session::read_region(const Box& region) {
+  const Ticket ticket = service_->admission_.admit(tenant_);
+  ARTSPARSE_SPAN_TYPE span("service.read_region", "service");
+  span.attr("tenant", tenant_);
+  count_tenant_op(tenant_);
+  ReadResult result = service_->store_.read_region(region);
+  const std::size_t bytes = result_bytes(result);
+  ARTSPARSE_COUNT_L("artsparse_tenant_read_bytes_total", "tenant", tenant_,
+                    bytes);
+  service_->admission_.charge_bytes(tenant_, bytes);
+  return result;
+}
+
+ReadResult Session::scan(const Box& region) {
+  const Ticket ticket = service_->admission_.admit(tenant_);
+  ARTSPARSE_SPAN_TYPE span("service.scan", "service");
+  span.attr("tenant", tenant_);
+  count_tenant_op(tenant_);
+  ReadResult result = service_->batcher_.scan(region);
+  const std::size_t bytes = result_bytes(result);
+  ARTSPARSE_COUNT_L("artsparse_tenant_read_bytes_total", "tenant", tenant_,
+                    bytes);
+  service_->admission_.charge_bytes(tenant_, bytes);
+  return result;
+}
+
+std::vector<ReadResult> Session::scan_batch(std::span<const Box> regions) {
+  const Ticket ticket = service_->admission_.admit(tenant_);
+  ARTSPARSE_SPAN_TYPE span("service.scan_batch", "service");
+  span.attr("tenant", tenant_);
+  span.attr("regions", static_cast<std::uint64_t>(regions.size()));
+  count_tenant_op(tenant_);
+  std::vector<ReadResult> results =
+      service_->store_.snapshot().scan_batch(regions);
+  std::size_t bytes = 0;
+  for (const ReadResult& result : results) {
+    bytes += result_bytes(result);
+  }
+  ARTSPARSE_COUNT_L("artsparse_tenant_read_bytes_total", "tenant", tenant_,
+                    bytes);
+  service_->admission_.charge_bytes(tenant_, bytes);
+  return results;
+}
+
+Snapshot Session::snapshot() const { return service_->store_.snapshot(); }
+
+}  // namespace artsparse

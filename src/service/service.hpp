@@ -1,0 +1,104 @@
+// Service: the embeddable multi-tenant server core. Wraps one
+// FragmentStore (or a TiledStore's inner store) and layers on what a
+// store embedded in a shared service needs:
+//
+//   - Sessions: every request carries a tenant id, which flows into
+//     per-tenant obs metrics (artsparse_tenant_*) and trace-span
+//     attributes, so one tenant's traffic is attributable end to end.
+//   - Admission control (service/admission.hpp): per-tenant ops/sec,
+//     bytes/sec, and concurrency quotas, enforced before any storage work
+//     runs; over-quota requests fail fast with a typed OverloadedError.
+//   - Batched reads (service/batch.hpp): concurrent box scans group-commit
+//     into Snapshot::scan_batch, decoding each touched fragment once per
+//     batch.
+//   - Snapshots: sessions can pin a generation and run any number of
+//     consistent reads against it while writers and consolidation proceed.
+//
+// The Service owns no threads; callers bring their own (it is a library
+// core, not a daemon). All members are thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/admission.hpp"
+#include "service/batch.hpp"
+#include "storage/fragment_store.hpp"
+
+namespace artsparse {
+
+class Service;
+
+/// One tenant's handle onto the service. Cheap to create (one string),
+/// cheap to copy, safe to use from many threads at once — requests, not
+/// sessions, are the unit of concurrency. Every operation below is
+/// admission-checked and attributed to the tenant.
+class Session {
+ public:
+  const std::string& tenant() const { return tenant_; }
+
+  /// Admission-checked write; payload bytes debit the tenant's byte
+  /// quota up front (the size is known before any work runs).
+  WriteResult write(const CoordBuffer& coords,
+                    std::span<const value_t> values, OrgKind org);
+
+  /// Admission-checked point read. Result bytes are charged to the byte
+  /// quota after the fact (post-paid; see AdmissionController).
+  ReadResult read(const CoordBuffer& queries);
+
+  /// Admission-checked cell-by-cell region read.
+  ReadResult read_region(const Box& region);
+
+  /// Admission-checked box scan, group-committed with concurrent scans
+  /// from all sessions via the service's BatchedReader.
+  ReadResult scan(const Box& region);
+
+  /// Admission-checked batch of box scans from this one request, executed
+  /// against a single pinned snapshot (each touched fragment decodes
+  /// once). One admission ticket covers the whole batch.
+  std::vector<ReadResult> scan_batch(std::span<const Box> regions);
+
+  /// Pins the current generation for consistent multi-read work. The
+  /// snapshot itself is not admission-checked (it does no I/O); reads
+  /// through it bypass admission, so hand it out accordingly.
+  Snapshot snapshot() const;
+
+ private:
+  friend class Service;
+  Session(Service* service, std::string tenant)
+      : service_(service), tenant_(std::move(tenant)) {}
+
+  /// Bytes a result ships back to the client (coords + values).
+  static std::size_t result_bytes(const ReadResult& result);
+
+  Service* service_;
+  std::string tenant_;
+};
+
+class Service {
+ public:
+  /// `default_quota` applies to tenants without an explicit set_quota();
+  /// the default default comes from the ARTSPARSE_TENANT_* environment
+  /// knobs (see TenantQuota::from_env).
+  explicit Service(FragmentStore& store,
+                   TenantQuota default_quota = TenantQuota::from_env());
+
+  /// A handle for `tenant`. No registration needed; tenants exist from
+  /// their first request.
+  Session session(std::string tenant);
+
+  FragmentStore& store() { return store_; }
+  const FragmentStore& store() const { return store_; }
+  AdmissionController& admission() { return admission_; }
+  const AdmissionController& admission() const { return admission_; }
+  BatchStats batch_stats() const { return batcher_.stats(); }
+
+ private:
+  friend class Session;
+  FragmentStore& store_;
+  AdmissionController admission_;
+  BatchedReader batcher_;
+};
+
+}  // namespace artsparse

@@ -1,7 +1,6 @@
 #include "storage/fragment_cache.hpp"
 
-#include <cstdlib>
-
+#include "core/env.hpp"
 #include "core/timer.hpp"
 #include "formats/registry.hpp"
 #include "obs/metrics.hpp"
@@ -41,12 +40,10 @@ std::shared_ptr<const OpenFragment> load_open_fragment(
 }
 
 std::size_t FragmentCache::budget_from_env() {
-  if (const char* env = std::getenv("ARTSPARSE_CACHE_BYTES")) {
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(env, &end, 10);
-    if (end != env) return static_cast<std::size_t>(parsed);
-  }
-  return kDefaultBudgetBytes;
+  // Hardened parse (core/env): "64K" or "-1" no longer half-parse into a
+  // surprise budget; malformed settings fall back to the default.
+  return static_cast<std::size_t>(
+      env_u64("ARTSPARSE_CACHE_BYTES").value_or(kDefaultBudgetBytes));
 }
 
 FragmentCache::FragmentCache(std::size_t budget_bytes)
@@ -64,9 +61,15 @@ FragmentCache::~FragmentCache() {
 
 FragmentCache::Lookup FragmentCache::get(const std::string& path,
                                          const DeviceModel& model) {
+  return get(path, path, model);
+}
+
+FragmentCache::Lookup FragmentCache::get(const std::string& key,
+                                         const std::string& path,
+                                         const DeviceModel& model) {
   {
     const std::scoped_lock lock(mutex_);
-    const auto it = index_.find(path);
+    const auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
       ++hits_;
@@ -88,23 +91,23 @@ FragmentCache::Lookup FragmentCache::get(const std::string& path,
   if (budget_bytes_ == 0) {
     return Lookup{std::move(fragment), false, load_seconds};
   }
-  const auto it = index_.find(path);
+  const auto it = index_.find(key);
   if (it != index_.end()) {
     // Another thread inserted while we loaded; adopt its copy.
     lru_.splice(lru_.begin(), lru_, it->second);
     return Lookup{it->second->second, false, load_seconds};
   }
-  insert_locked(path, fragment);
+  insert_locked(key, fragment);
   return Lookup{std::move(fragment), false, load_seconds};
 }
 
 void FragmentCache::insert_locked(
-    const std::string& path, std::shared_ptr<const OpenFragment> fragment) {
+    const std::string& key, std::shared_ptr<const OpenFragment> fragment) {
   open_bytes_ += fragment->memory_bytes;
   ARTSPARSE_GAUGE_ADD("artsparse_cache_open_bytes", fragment->memory_bytes);
   ARTSPARSE_GAUGE_ADD("artsparse_cache_open_fragments", 1);
-  lru_.emplace_front(path, std::move(fragment));
-  index_[path] = lru_.begin();
+  lru_.emplace_front(key, std::move(fragment));
+  index_[key] = lru_.begin();
   while (open_bytes_ > budget_bytes_ && lru_.size() > 1) {
     const auto& [victim_path, victim] = lru_.back();
     open_bytes_ -= victim->memory_bytes;
@@ -118,9 +121,14 @@ void FragmentCache::insert_locked(
   }
 }
 
-void FragmentCache::invalidate(const std::string& path) {
+void FragmentCache::add_pinned(std::int64_t delta) {
+  pinned_bytes_.fetch_add(delta, std::memory_order_relaxed);
+  ARTSPARSE_GAUGE_ADD("artsparse_cache_pinned_bytes", delta);
+}
+
+void FragmentCache::invalidate(const std::string& key) {
   const std::scoped_lock lock(mutex_);
-  const auto it = index_.find(path);
+  const auto it = index_.find(key);
   if (it == index_.end()) return;
   open_bytes_ -= it->second->second->memory_bytes;
   ARTSPARSE_GAUGE_ADD(
@@ -155,6 +163,8 @@ CacheStats FragmentCache::stats() const {
   stats.invalidations = invalidations_;
   stats.open_count = lru_.size();
   stats.open_bytes = open_bytes_;
+  const std::int64_t pinned = pinned_bytes_.load(std::memory_order_relaxed);
+  stats.pinned_bytes = pinned > 0 ? static_cast<std::size_t>(pinned) : 0;
   stats.budget_bytes = budget_bytes_;
   return stats;
 }

@@ -20,6 +20,7 @@
 // from disk and nothing is retained) — useful as an A/B switch in benches.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <list>
 #include <memory>
@@ -75,12 +76,16 @@ struct CacheStats {
   std::size_t invalidations = 0;   ///< entries dropped by writes/clears
   std::size_t open_count = 0;      ///< resident fragments right now
   std::size_t open_bytes = 0;      ///< resident bytes right now
+  std::size_t pinned_bytes = 0;    ///< bytes held by in-flight batch reads
   std::size_t budget_bytes = 0;
 };
 
-/// Thread-safe, byte-budgeted LRU cache of OpenFragments, keyed by file
-/// path. One instance per FragmentStore (TiledStore shares its inner
-/// store's instance), so invalidation never crosses stores.
+/// Thread-safe, byte-budgeted LRU cache of OpenFragments, keyed by an
+/// opaque string — plain file paths for direct callers, or the manifest
+/// layer's generation-tagged "<path>@g<N>" keys, which make it impossible
+/// for a recycled or rewritten path to ever serve stale bytes. One
+/// instance per FragmentStore (TiledStore shares its inner store's
+/// instance), so invalidation never crosses stores.
 class FragmentCache {
  public:
   /// 256 MiB; roomy for the bench grids, small next to a real server.
@@ -109,9 +114,15 @@ class FragmentCache {
   /// fan-out path hits distinct fragments, where loads fully overlap).
   Lookup get(const std::string& path, const DeviceModel& model);
 
-  /// Drops `path` if resident. Called by the store before a path is
+  /// As above, but cached under `key` while loading from `path`. The
+  /// manifest layer resolves entries this way with generation-tagged keys,
+  /// so two fragments that ever shared a path can never share an entry.
+  Lookup get(const std::string& key, const std::string& path,
+             const DeviceModel& model);
+
+  /// Drops `key` if resident. Called by the store before a path is
   /// (re)written so a recycled fragment name can never serve stale bytes.
-  void invalidate(const std::string& path);
+  void invalidate(const std::string& key);
 
   /// Drops every resident entry (store clear/rescan/consolidate).
   void invalidate_all();
@@ -121,6 +132,15 @@ class FragmentCache {
 
   std::size_t budget_bytes() const { return budget_bytes_; }
 
+  /// Pinned-bytes accounting: a batched read pins the fragments it holds
+  /// decoded for the duration of the batch (positive delta on entry,
+  /// matching negative on exit), so operators can see how much of the
+  /// resident budget is momentarily non-reclaimable. Accounting only — the
+  /// LRU does not consult it; the shared_ptr references keep the memory
+  /// alive regardless of eviction. Mirrored to the
+  /// artsparse_cache_pinned_bytes gauge.
+  void add_pinned(std::int64_t delta);
+
  private:
   /// Most-recently-used at the front.
   using LruList =
@@ -129,7 +149,7 @@ class FragmentCache {
   /// Inserts at the MRU position and evicts from the LRU end until the
   /// budget holds (the newest entry itself is never evicted, so one
   /// oversized hot fragment still caches). Caller holds mutex_.
-  void insert_locked(const std::string& path,
+  void insert_locked(const std::string& key,
                      std::shared_ptr<const OpenFragment> fragment);
 
   const std::size_t budget_bytes_;
@@ -142,6 +162,8 @@ class FragmentCache {
   std::size_t misses_ = 0;
   std::size_t evictions_ = 0;
   std::size_t invalidations_ = 0;
+  /// Batch-pinned bytes; atomic so pin/unpin never takes the LRU mutex.
+  std::atomic<std::int64_t> pinned_bytes_{0};
 };
 
 }  // namespace artsparse

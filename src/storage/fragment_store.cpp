@@ -24,12 +24,28 @@ namespace {
 /// search), so parallelize from two fragments up.
 constexpr std::size_t kFragmentGrain = 2;
 
+/// Publishes the store's current generation as a per-directory gauge
+/// series, so dashboards can watch consolidation/rescan churn per store.
+void set_generation_gauge(const std::string& directory,
+                          std::uint64_t generation) {
+#if defined(ARTSPARSE_OBS_ENABLED)
+  obs::registry()
+      .gauge("artsparse_store_generation",
+             "Current manifest generation, labeled by store directory",
+             {{"store", directory}})
+      .set(static_cast<std::int64_t>(generation));
+#else
+  static_cast<void>(directory);
+  static_cast<void>(generation);
+#endif
+}
+
 }  // namespace
 
 /// Per-fragment partial result, produced independently by one fan-out
 /// worker and merged on the caller in hit order (= fragment write order),
 /// which keeps results byte-identical to the sequential loop they replaced.
-struct FragmentStore::Partial {
+struct Snapshot::Partial {
   std::vector<std::size_t> found_query;  ///< read(): query index per hit
   CoordBuffer found_coords;              ///< scan paths: hit coordinates
   std::vector<value_t> found_values;
@@ -39,6 +55,394 @@ struct FragmentStore::Partial {
   bool skipped = false;     ///< kSkip policy dropped this fragment
   std::string skip_error;   ///< why (IoError / FormatError message)
 };
+
+// ---------------------------------------------------------------------------
+// Snapshot: the read paths. Every method below sees only manifest_'s
+// immutable entry list, so no locking against writers is ever needed.
+// ---------------------------------------------------------------------------
+
+ReadResult Snapshot::read(const CoordBuffer& queries) const {
+  ReadResult result;
+  if (queries.empty()) {
+    result.coords = CoordBuffer(shape_.rank());
+    return result;
+  }
+  detail::require(queries.rank() == shape_.rank(),
+                  "query rank does not match store shape");
+
+  ARTSPARSE_SPAN_TYPE read_span("store.read", "read");
+  read_span.attr("queries", static_cast<std::uint64_t>(queries.size()));
+  ARTSPARSE_COUNT("artsparse_read_queries_total", 1);
+  ARTSPARSE_COUNT("artsparse_read_points_total", queries.size());
+
+  // Find all fragments containing b_coor (line 4): bounding-box overlap.
+  WallTimer timer;
+  const Box query_box = Box::bounding(queries);
+  const std::vector<const ManifestEntry*> hits =
+      manifest_->discover(query_box);
+  result.times.discover = timer.seconds();
+  result.fragments_visited = hits.size();
+
+  // Per fragment: resolve through the cache, search, collect <query, value>
+  // (lines 6-11) — one independent worker per fragment. Under kSkip a
+  // fragment that fails to load or decode is dropped and reported instead
+  // of failing the whole query.
+  std::vector<Partial> partials(hits.size());
+  parallel_for_each(
+      hits.size(),
+      [&](std::size_t i) {
+        Partial& partial = partials[i];
+        try {
+          const FragmentCache::Lookup lookup =
+              cache_->get(hits[i]->cache_key, hits[i]->path(), model_);
+          partial.extract = lookup.load_seconds;
+          partial.cache_hit = lookup.hit;
+
+          // Organization-specific existence search (line 9).
+          WallTimer search_timer;
+          const OpenFragment& fragment = *lookup.fragment;
+          const std::vector<std::size_t> slots =
+              fragment.format->read(queries);
+          for (std::size_t q = 0; q < slots.size(); ++q) {
+            if (slots[q] != kNotFound) {
+              detail::require(slots[q] < fragment.values.size(),
+                              "format returned slot beyond value buffer");
+              partial.found_query.push_back(q);
+              partial.found_values.push_back(fragment.values[slots[q]]);
+            }
+          }
+          partial.query = search_timer.seconds();
+          ARTSPARSE_OBSERVE_L("artsparse_format_read_ns", "org",
+                              to_string(fragment.org), partial.query * 1e9);
+        } catch (const Error& e) {
+          if (fault_policy_ == ReadFaultPolicy::kStrict) throw;
+          partial = Partial{};
+          partial.skipped = true;
+          partial.skip_error = e.what();
+        }
+      },
+      0, kFragmentGrain);
+
+  // Merge partials in hit order — identical to the sequential loop's
+  // concatenation order — then sort by linear address (lines 12-13).
+  std::vector<std::size_t> found_query;
+  std::vector<value_t> found_value;
+  for (std::size_t i = 0; i < partials.size(); ++i) {
+    const Partial& partial = partials[i];
+    if (partial.skipped) {
+      ARTSPARSE_COUNT("artsparse_read_fragments_skipped_total", 1);
+      result.skipped.push_back(
+          SkippedFragment{hits[i]->path(), partial.skip_error});
+      continue;
+    }
+    ARTSPARSE_COUNT("artsparse_read_fragments_resolved_total", 1);
+    result.times.extract += partial.extract;
+    result.times.query += partial.query;
+    ++(partial.cache_hit ? result.times.cache_hits
+                         : result.times.cache_misses);
+    found_query.insert(found_query.end(), partial.found_query.begin(),
+                       partial.found_query.end());
+    found_value.insert(found_value.end(), partial.found_values.begin(),
+                       partial.found_values.end());
+  }
+
+  timer.reset();
+  std::vector<index_t> addresses(found_query.size());
+  parallel_for_each(found_query.size(), [&](std::size_t i) {
+    addresses[i] = linearize(queries.point(found_query[i]), shape_);
+  });
+  const std::vector<std::size_t> order = sort_permutation(addresses);
+  const std::size_t rank = shape_.rank();
+  std::vector<index_t> flat(order.size() * rank);
+  std::vector<value_t> values(order.size());
+  parallel_for_each(order.size(), [&](std::size_t i) {
+    const auto point = queries.point(found_query[order[i]]);
+    std::copy(point.begin(), point.end(), flat.begin() + i * rank);
+    values[i] = found_value[order[i]];
+  });
+  result.coords = CoordBuffer(rank, std::move(flat));
+  result.values = std::move(values);
+  result.times.merge = timer.seconds();
+  return result;
+}
+
+ReadResult Snapshot::read_region(const Box& region) const {
+  detail::require(region.rank() == shape_.rank(),
+                  "region rank does not match store shape");
+  CoordBuffer queries(shape_.rank());
+  enumerate_cells(region, queries);
+  return read(queries);
+}
+
+ReadResult Snapshot::scan_region(const Box& region) const {
+  return scan_region_where(region, ValueRange{});
+}
+
+ReadResult Snapshot::scan_region_where(const Box& region,
+                                       const ValueRange& range) const {
+  detail::require(region.rank() == shape_.rank(),
+                  "region rank does not match store shape");
+  detail::require(range.min <= range.max, "value range is inverted");
+  ReadResult result;
+  ARTSPARSE_SPAN_TYPE scan_span("store.scan", "read");
+  ARTSPARSE_COUNT("artsparse_read_queries_total", 1);
+  WallTimer timer;
+  // Discovery prunes on both axes: spatial overlap (R-tree backed for
+  // large manifests) and the fragment's value statistics vs the predicate.
+  std::vector<const ManifestEntry*> hits = manifest_->discover(region);
+  std::erase_if(hits, [&](const ManifestEntry* entry) {
+    return !range.overlaps(entry->value_min, entry->value_max);
+  });
+  result.times.discover = timer.seconds();
+  result.fragments_visited = hits.size();
+
+  // Native box scan per fragment, fanned out like read().
+  std::vector<Partial> partials(hits.size());
+  parallel_for_each(
+      hits.size(),
+      [&](std::size_t i) {
+        Partial& partial = partials[i];
+        partial.found_coords = CoordBuffer(shape_.rank());
+        try {
+          const FragmentCache::Lookup lookup =
+              cache_->get(hits[i]->cache_key, hits[i]->path(), model_);
+          partial.extract = lookup.load_seconds;
+          partial.cache_hit = lookup.hit;
+
+          WallTimer scan_timer;
+          const OpenFragment& fragment = *lookup.fragment;
+          std::vector<std::size_t> slots;
+          CoordBuffer scanned(shape_.rank());
+          fragment.format->scan_box(region, scanned, slots);
+          detail::require(scanned.size() == slots.size(),
+                          "scan_box points/slots length mismatch");
+          for (std::size_t k = 0; k < slots.size(); ++k) {
+            detail::require(slots[k] < fragment.values.size(),
+                            "format returned slot beyond value buffer");
+            const value_t value = fragment.values[slots[k]];
+            if (range.matches(value)) {
+              partial.found_coords.append(scanned.point(k));
+              partial.found_values.push_back(value);
+            }
+          }
+          partial.query = scan_timer.seconds();
+          ARTSPARSE_OBSERVE_L("artsparse_format_read_ns", "org",
+                              to_string(fragment.org), partial.query * 1e9);
+        } catch (const Error& e) {
+          if (fault_policy_ == ReadFaultPolicy::kStrict) throw;
+          partial = Partial{};
+          partial.skipped = true;
+          partial.skip_error = e.what();
+        }
+      },
+      0, kFragmentGrain);
+
+  CoordBuffer found(shape_.rank());
+  std::vector<value_t> values;
+  for (std::size_t i = 0; i < partials.size(); ++i) {
+    const Partial& partial = partials[i];
+    if (partial.skipped) {
+      ARTSPARSE_COUNT("artsparse_read_fragments_skipped_total", 1);
+      result.skipped.push_back(
+          SkippedFragment{hits[i]->path(), partial.skip_error});
+      continue;
+    }
+    ARTSPARSE_COUNT("artsparse_read_fragments_resolved_total", 1);
+    result.times.extract += partial.extract;
+    result.times.query += partial.query;
+    ++(partial.cache_hit ? result.times.cache_hits
+                         : result.times.cache_misses);
+    for (std::size_t k = 0; k < partial.found_coords.size(); ++k) {
+      found.append(partial.found_coords.point(k));
+    }
+    values.insert(values.end(), partial.found_values.begin(),
+                  partial.found_values.end());
+  }
+
+  timer.reset();
+  std::vector<index_t> addresses(found.size());
+  parallel_for_each(found.size(), [&](std::size_t i) {
+    addresses[i] = linearize(found.point(i), shape_);
+  });
+  const std::vector<std::size_t> order = sort_permutation(addresses);
+  const std::size_t rank = shape_.rank();
+  std::vector<index_t> flat(order.size() * rank);
+  std::vector<value_t> sorted_values(order.size());
+  parallel_for_each(order.size(), [&](std::size_t i) {
+    const auto point = found.point(order[i]);
+    std::copy(point.begin(), point.end(), flat.begin() + i * rank);
+    sorted_values[i] = values[order[i]];
+  });
+  result.coords = CoordBuffer(rank, std::move(flat));
+  result.values = std::move(sorted_values);
+  result.times.merge = timer.seconds();
+  return result;
+}
+
+std::vector<ReadResult> Snapshot::scan_batch(
+    std::span<const Box> regions) const {
+  std::vector<ReadResult> results(regions.size());
+  if (regions.empty()) return results;
+  ARTSPARSE_SPAN_TYPE batch_span("store.scan_batch", "read");
+  batch_span.attr("regions", static_cast<std::uint64_t>(regions.size()));
+
+  // Discover per region (pure in-memory work against the pinned
+  // manifest), recording each region's hit list in its own order.
+  std::vector<std::vector<const ManifestEntry*>> hits(regions.size());
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    detail::require(regions[r].rank() == shape_.rank(),
+                    "region rank does not match store shape");
+    ARTSPARSE_COUNT("artsparse_read_queries_total", 1);
+    WallTimer timer;
+    hits[r] = manifest_->discover(regions[r]);
+    results[r].times.discover = timer.seconds();
+    results[r].fragments_visited = hits[r].size();
+  }
+
+  // Coalesce: every fragment touched by any region is resolved exactly
+  // once, no matter how many regions overlap it. `interested` maps each
+  // unique fragment to the regions that want it, in region order.
+  std::map<const ManifestEntry*, std::size_t> slot_of;
+  std::vector<const ManifestEntry*> unique;
+  std::vector<std::vector<std::size_t>> interested;
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    for (const ManifestEntry* entry : hits[r]) {
+      const auto [it, inserted] = slot_of.try_emplace(entry, unique.size());
+      if (inserted) {
+        unique.push_back(entry);
+        interested.emplace_back();
+      }
+      interested[it->second].push_back(r);
+    }
+  }
+  ARTSPARSE_COUNT("artsparse_batch_fragments_total", unique.size());
+  std::size_t duplicate_touches = 0;
+  for (const auto& wanters : interested) {
+    duplicate_touches += wanters.size() - 1;
+  }
+  ARTSPARSE_COUNT("artsparse_batch_fragments_coalesced_total",
+                  duplicate_touches);
+
+  // One decode per unique fragment, then every interested region's box
+  // scan against the same OpenFragment. Each (fragment, region) pair gets
+  // its own Partial so assembly below can replay the exact per-region
+  // sequential merge order.
+  struct FragmentWork {
+    std::vector<Partial> per_region;  ///< parallel to interested[slot]
+    std::size_t memory_bytes = 0;     ///< pinned while the batch runs
+    bool skipped = false;
+    std::string skip_error;
+    bool cache_hit = false;
+    double extract = 0.0;
+  };
+  std::vector<FragmentWork> work(unique.size());
+  parallel_for_each(
+      unique.size(),
+      [&](std::size_t s) {
+        FragmentWork& w = work[s];
+        w.per_region.resize(interested[s].size());
+        try {
+          const FragmentCache::Lookup lookup =
+              cache_->get(unique[s]->cache_key, unique[s]->path(), model_);
+          w.cache_hit = lookup.hit;
+          w.extract = lookup.load_seconds;
+          const OpenFragment& fragment = *lookup.fragment;
+          w.memory_bytes = fragment.memory_bytes;
+          cache_->add_pinned(static_cast<std::int64_t>(w.memory_bytes));
+          for (std::size_t k = 0; k < interested[s].size(); ++k) {
+            Partial& partial = w.per_region[k];
+            partial.found_coords = CoordBuffer(shape_.rank());
+            WallTimer scan_timer;
+            std::vector<std::size_t> slots;
+            CoordBuffer scanned(shape_.rank());
+            fragment.format->scan_box(regions[interested[s][k]], scanned,
+                                      slots);
+            detail::require(scanned.size() == slots.size(),
+                            "scan_box points/slots length mismatch");
+            for (std::size_t j = 0; j < slots.size(); ++j) {
+              detail::require(slots[j] < fragment.values.size(),
+                              "format returned slot beyond value buffer");
+              partial.found_coords.append(scanned.point(j));
+              partial.found_values.push_back(fragment.values[slots[j]]);
+            }
+            partial.query = scan_timer.seconds();
+          }
+        } catch (const Error& e) {
+          if (fault_policy_ == ReadFaultPolicy::kStrict) throw;
+          w.skipped = true;
+          w.skip_error = e.what();
+        }
+      },
+      0, kFragmentGrain);
+
+  // Assemble each region exactly as scan_region would: partials in that
+  // region's own hit order, then the linear-address merge sort. Cache
+  // accounting per region: the first region that wanted a freshly loaded
+  // fragment records the miss (and its load time); the rest see a hit,
+  // which is what a sequential replay through a warm cache would observe.
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    ReadResult& result = results[r];
+    CoordBuffer found(shape_.rank());
+    std::vector<value_t> values;
+    for (const ManifestEntry* entry : hits[r]) {
+      const std::size_t s = slot_of[entry];
+      FragmentWork& w = work[s];
+      if (w.skipped) {
+        ARTSPARSE_COUNT("artsparse_read_fragments_skipped_total", 1);
+        result.skipped.push_back(SkippedFragment{entry->path(), w.skip_error});
+        continue;
+      }
+      ARTSPARSE_COUNT("artsparse_read_fragments_resolved_total", 1);
+      const std::size_t k =
+          std::find(interested[s].begin(), interested[s].end(), r) -
+          interested[s].begin();
+      const Partial& partial = w.per_region[k];
+      const bool first_wanter = interested[s].front() == r;
+      if (!w.cache_hit && first_wanter) {
+        ++result.times.cache_misses;
+        result.times.extract += w.extract;
+      } else {
+        ++result.times.cache_hits;
+      }
+      result.times.query += partial.query;
+      for (std::size_t j = 0; j < partial.found_coords.size(); ++j) {
+        found.append(partial.found_coords.point(j));
+      }
+      values.insert(values.end(), partial.found_values.begin(),
+                    partial.found_values.end());
+    }
+
+    WallTimer timer;
+    std::vector<index_t> addresses(found.size());
+    parallel_for_each(found.size(), [&](std::size_t i) {
+      addresses[i] = linearize(found.point(i), shape_);
+    });
+    const std::vector<std::size_t> order = sort_permutation(addresses);
+    const std::size_t rank = shape_.rank();
+    std::vector<index_t> flat(order.size() * rank);
+    std::vector<value_t> sorted_values(order.size());
+    parallel_for_each(order.size(), [&](std::size_t i) {
+      const auto point = found.point(order[i]);
+      std::copy(point.begin(), point.end(), flat.begin() + i * rank);
+      sorted_values[i] = values[order[i]];
+    });
+    result.coords = CoordBuffer(rank, std::move(flat));
+    result.values = std::move(sorted_values);
+    result.times.merge = timer.seconds();
+  }
+
+  // Release the batch's pin accounting.
+  for (const FragmentWork& w : work) {
+    if (w.memory_bytes != 0) {
+      cache_->add_pinned(-static_cast<std::int64_t>(w.memory_bytes));
+    }
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// FragmentStore: manifest publication and the write side.
+// ---------------------------------------------------------------------------
 
 FragmentStore::FragmentStore(std::filesystem::path directory, Shape shape,
                              DeviceModel model, CodecKind codec,
@@ -55,7 +459,38 @@ FragmentStore::FragmentStore(std::filesystem::path directory, Shape shape,
     throw IoError("create_directories '" + directory_.string() +
                   "': " + ec.message());
   }
+  manifest_ = std::make_shared<Manifest>(0, std::vector<ManifestEntry>{},
+                                         shape_);
   rescan();
+}
+
+Snapshot FragmentStore::snapshot() const {
+  return Snapshot(current_manifest(), cache_, shape_, model_,
+                  read_fault_policy());
+}
+
+std::uint64_t FragmentStore::generation() const {
+  return current_manifest()->generation();
+}
+
+std::shared_ptr<const Manifest> FragmentStore::current_manifest() const {
+  const std::scoped_lock lock(manifest_mutex_);
+  return manifest_;
+}
+
+void FragmentStore::publish_locked(std::vector<ManifestEntry> entries) {
+  std::shared_ptr<const Manifest> previous;
+  std::shared_ptr<const Manifest> next;
+  {
+    const std::scoped_lock lock(manifest_mutex_);
+    next = std::make_shared<Manifest>(manifest_->generation() + 1,
+                                      std::move(entries), shape_);
+    previous = std::exchange(manifest_, next);
+  }
+  ARTSPARSE_COUNT("artsparse_store_generations_published_total", 1);
+  set_generation_gauge(directory_.string(), next->generation());
+  // `previous` releases here; if it was the last reference, entries whose
+  // files were doomed unlink now. Pinned snapshots keep them alive.
 }
 
 std::filesystem::path FragmentStore::next_fragment_path() {
@@ -67,6 +502,13 @@ std::filesystem::path FragmentStore::next_fragment_path() {
 WriteResult FragmentStore::write(const CoordBuffer& coords,
                                  std::span<const value_t> values,
                                  OrgKind org) {
+  const std::scoped_lock lock(writer_mutex_);
+  return write_locked(coords, values, org, /*replace=*/false);
+}
+
+WriteResult FragmentStore::write_locked(const CoordBuffer& coords,
+                                        std::span<const value_t> values,
+                                        OrgKind org, bool replace) {
   detail::require(coords.size() == values.size(),
                   "coordinate and value counts differ");
   WriteResult result;
@@ -135,10 +577,6 @@ WriteResult FragmentStore::write(const CoordBuffer& coords,
   const std::filesystem::path path = next_fragment_path();
   result.times.others = timer.seconds();
 
-  // A recycled fragment name (clear() resets the id counter) must never be
-  // served from cache with the old bytes.
-  cache_->invalidate(path.string());
-
   // Commit the fragment to the (possibly throttled) device (line 7):
   // stage + fsync + rename + directory fsync, retrying transient errors.
   timer.reset();
@@ -161,9 +599,32 @@ WriteResult FragmentStore::write(const CoordBuffer& coords,
     lo = *min_it;
     hi = *max_it;
   }
-  fragments_.push_back(
-      Entry{path, fragment.bbox, org, encoded.size(), lo, hi});
-  rtree_dirty_ = true;
+
+  // Publish the successor manifest: the committed fragment set plus the
+  // new entry (write), or only the new entry with every predecessor
+  // doomed (consolidate's replace). Readers switch atomically; pinned
+  // snapshots keep the generation they hold.
+  const std::shared_ptr<const Manifest> current = current_manifest();
+  std::vector<ManifestEntry> entries;
+  if (replace) {
+    for (const ManifestEntry& old : current->entries()) {
+      old.file->doom();
+      cache_->invalidate(old.cache_key);
+    }
+  } else {
+    entries = current->entries();
+  }
+  ManifestEntry entry;
+  entry.file = std::make_shared<FragmentFile>(path);
+  entry.cache_key = path.string() + "@g" +
+                    std::to_string(current->generation() + 1);
+  entry.bbox = fragment.bbox;
+  entry.org = org;
+  entry.file_bytes = encoded.size();
+  entry.value_min = lo;
+  entry.value_max = hi;
+  entries.push_back(std::move(entry));
+  publish_locked(std::move(entries));
 
   ARTSPARSE_COUNT("artsparse_store_writes_total", 1);
   ARTSPARSE_COUNT("artsparse_store_write_bytes_total", encoded.size());
@@ -178,287 +639,42 @@ WriteResult FragmentStore::write(const CoordBuffer& coords,
   return result;
 }
 
-std::vector<const FragmentStore::Entry*> FragmentStore::discover(
-    const Box& box) const {
-  std::vector<const Entry*> hits;
-  if (fragments_.size() < kRtreeThreshold) {
-    for (const Entry& entry : fragments_) {
-      if (!entry.bbox.empty() && entry.bbox.overlaps(box)) {
-        hits.push_back(&entry);
-      }
-    }
-    return hits;
-  }
-  {
-    // Serialize the lazy rebuild; after it, the tree is immutable until the
-    // next write, so concurrent visits below are read-only and safe.
-    const std::scoped_lock lock(rtree_mutex_);
-    if (rtree_dirty_) {
-      ARTSPARSE_SPAN_TYPE rebuild_span("store.rtree_rebuild", "store");
-      rebuild_span.attr("fragments",
-                        static_cast<std::uint64_t>(fragments_.size()));
-      WallTimer rebuild_timer;
-      // Empty-bbox fragments (zero points) can never overlap; give them a
-      // degenerate placeholder the tree accepts, then filter on visit.
-      std::vector<Box> boxes;
-      boxes.reserve(fragments_.size());
-      const Box placeholder(std::vector<index_t>(shape_.rank(), 0),
-                            std::vector<index_t>(shape_.rank(), 0));
-      for (const Entry& entry : fragments_) {
-        boxes.push_back(entry.bbox.empty() ? placeholder : entry.bbox);
-      }
-      rtree_ = RTree::bulk_load(boxes);
-      rtree_dirty_ = false;
-      ARTSPARSE_COUNT("artsparse_store_rtree_rebuilds_total", 1);
-      ARTSPARSE_OBSERVE("artsparse_store_rtree_rebuild_ns",
-                        rebuild_timer.seconds() * 1e9);
-    }
-  }
-  rtree_.visit(box, [&](std::size_t id) {
-    const Entry& entry = fragments_[id];
-    if (!entry.bbox.empty() && entry.bbox.overlaps(box)) {
-      hits.push_back(&entry);
-    }
-  });
-  // Keep write order (the linear path's order) for deterministic results.
-  std::sort(hits.begin(), hits.end());
-  return hits;
-}
-
 ReadResult FragmentStore::read(const CoordBuffer& queries) const {
-  ReadResult result;
-  if (queries.empty()) {
-    result.coords = CoordBuffer(shape_.rank());
-    return result;
-  }
-  detail::require(queries.rank() == shape_.rank(),
-                  "query rank does not match store shape");
-
-  ARTSPARSE_SPAN_TYPE read_span("store.read", "read");
-  read_span.attr("queries", static_cast<std::uint64_t>(queries.size()));
-  ARTSPARSE_COUNT("artsparse_read_queries_total", 1);
-  ARTSPARSE_COUNT("artsparse_read_points_total", queries.size());
-
-  // Find all fragments containing b_coor (line 4): bounding-box overlap.
-  WallTimer timer;
-  const Box query_box = Box::bounding(queries);
-  const std::vector<const Entry*> hits = discover(query_box);
-  result.times.discover = timer.seconds();
-  result.fragments_visited = hits.size();
-
-  // Per fragment: resolve through the cache, search, collect <query, value>
-  // (lines 6-11) — one independent worker per fragment. Under kSkip a
-  // fragment that fails to load or decode is dropped and reported instead
-  // of failing the whole query.
-  std::vector<Partial> partials(hits.size());
-  parallel_for_each(
-      hits.size(),
-      [&](std::size_t i) {
-        Partial& partial = partials[i];
-        try {
-          const FragmentCache::Lookup lookup =
-              cache_->get(hits[i]->path.string(), model_);
-          partial.extract = lookup.load_seconds;
-          partial.cache_hit = lookup.hit;
-
-          // Organization-specific existence search (line 9).
-          WallTimer search_timer;
-          const OpenFragment& fragment = *lookup.fragment;
-          const std::vector<std::size_t> slots =
-              fragment.format->read(queries);
-          for (std::size_t q = 0; q < slots.size(); ++q) {
-            if (slots[q] != kNotFound) {
-              detail::require(slots[q] < fragment.values.size(),
-                              "format returned slot beyond value buffer");
-              partial.found_query.push_back(q);
-              partial.found_values.push_back(fragment.values[slots[q]]);
-            }
-          }
-          partial.query = search_timer.seconds();
-          ARTSPARSE_OBSERVE_L("artsparse_format_read_ns", "org",
-                              to_string(fragment.org), partial.query * 1e9);
-        } catch (const Error& e) {
-          if (read_fault_policy_ == ReadFaultPolicy::kStrict) throw;
-          partial = Partial{};
-          partial.skipped = true;
-          partial.skip_error = e.what();
-        }
-      },
-      0, kFragmentGrain);
-
-  // Merge partials in hit order — identical to the sequential loop's
-  // concatenation order — then sort by linear address (lines 12-13).
-  std::vector<std::size_t> found_query;
-  std::vector<value_t> found_value;
-  for (std::size_t i = 0; i < partials.size(); ++i) {
-    const Partial& partial = partials[i];
-    if (partial.skipped) {
-      ARTSPARSE_COUNT("artsparse_read_fragments_skipped_total", 1);
-      result.skipped.push_back(
-          SkippedFragment{hits[i]->path.string(), partial.skip_error});
-      continue;
-    }
-    ARTSPARSE_COUNT("artsparse_read_fragments_resolved_total", 1);
-    result.times.extract += partial.extract;
-    result.times.query += partial.query;
-    ++(partial.cache_hit ? result.times.cache_hits
-                         : result.times.cache_misses);
-    found_query.insert(found_query.end(), partial.found_query.begin(),
-                       partial.found_query.end());
-    found_value.insert(found_value.end(), partial.found_values.begin(),
-                       partial.found_values.end());
-  }
-
-  timer.reset();
-  std::vector<index_t> addresses(found_query.size());
-  parallel_for_each(found_query.size(), [&](std::size_t i) {
-    addresses[i] = linearize(queries.point(found_query[i]), shape_);
-  });
-  const std::vector<std::size_t> order = sort_permutation(addresses);
-  const std::size_t rank = shape_.rank();
-  std::vector<index_t> flat(order.size() * rank);
-  std::vector<value_t> values(order.size());
-  parallel_for_each(order.size(), [&](std::size_t i) {
-    const auto point = queries.point(found_query[order[i]]);
-    std::copy(point.begin(), point.end(), flat.begin() + i * rank);
-    values[i] = found_value[order[i]];
-  });
-  result.coords = CoordBuffer(rank, std::move(flat));
-  result.values = std::move(values);
-  result.times.merge = timer.seconds();
-  return result;
+  return snapshot().read(queries);
 }
 
 ReadResult FragmentStore::read_region(const Box& region) const {
-  detail::require(region.rank() == shape_.rank(),
-                  "region rank does not match store shape");
-  CoordBuffer queries(shape_.rank());
-  enumerate_cells(region, queries);
-  return read(queries);
+  return snapshot().read_region(region);
 }
 
 ReadResult FragmentStore::scan_region(const Box& region) const {
-  return scan_region_where(region, ValueRange{});
+  return snapshot().scan_region(region);
 }
 
 ReadResult FragmentStore::scan_region_where(const Box& region,
                                             const ValueRange& range) const {
-  detail::require(region.rank() == shape_.rank(),
-                  "region rank does not match store shape");
-  detail::require(range.min <= range.max, "value range is inverted");
-  ReadResult result;
-  ARTSPARSE_SPAN_TYPE scan_span("store.scan", "read");
-  ARTSPARSE_COUNT("artsparse_read_queries_total", 1);
-  WallTimer timer;
-  // Discovery prunes on both axes: spatial overlap (R-tree backed for
-  // large stores) and the fragment's value statistics vs the predicate.
-  std::vector<const Entry*> hits = discover(region);
-  std::erase_if(hits, [&](const Entry* entry) {
-    return !range.overlaps(entry->value_min, entry->value_max);
-  });
-  result.times.discover = timer.seconds();
-  result.fragments_visited = hits.size();
-
-  // Native box scan per fragment, fanned out like read().
-  std::vector<Partial> partials(hits.size());
-  parallel_for_each(
-      hits.size(),
-      [&](std::size_t i) {
-        Partial& partial = partials[i];
-        partial.found_coords = CoordBuffer(shape_.rank());
-        try {
-          const FragmentCache::Lookup lookup =
-              cache_->get(hits[i]->path.string(), model_);
-          partial.extract = lookup.load_seconds;
-          partial.cache_hit = lookup.hit;
-
-          WallTimer scan_timer;
-          const OpenFragment& fragment = *lookup.fragment;
-          std::vector<std::size_t> slots;
-          CoordBuffer scanned(shape_.rank());
-          fragment.format->scan_box(region, scanned, slots);
-          detail::require(scanned.size() == slots.size(),
-                          "scan_box points/slots length mismatch");
-          for (std::size_t k = 0; k < slots.size(); ++k) {
-            detail::require(slots[k] < fragment.values.size(),
-                            "format returned slot beyond value buffer");
-            const value_t value = fragment.values[slots[k]];
-            if (range.matches(value)) {
-              partial.found_coords.append(scanned.point(k));
-              partial.found_values.push_back(value);
-            }
-          }
-          partial.query = scan_timer.seconds();
-          ARTSPARSE_OBSERVE_L("artsparse_format_read_ns", "org",
-                              to_string(fragment.org), partial.query * 1e9);
-        } catch (const Error& e) {
-          if (read_fault_policy_ == ReadFaultPolicy::kStrict) throw;
-          partial = Partial{};
-          partial.skipped = true;
-          partial.skip_error = e.what();
-        }
-      },
-      0, kFragmentGrain);
-
-  CoordBuffer found(shape_.rank());
-  std::vector<value_t> values;
-  for (std::size_t i = 0; i < partials.size(); ++i) {
-    const Partial& partial = partials[i];
-    if (partial.skipped) {
-      ARTSPARSE_COUNT("artsparse_read_fragments_skipped_total", 1);
-      result.skipped.push_back(
-          SkippedFragment{hits[i]->path.string(), partial.skip_error});
-      continue;
-    }
-    ARTSPARSE_COUNT("artsparse_read_fragments_resolved_total", 1);
-    result.times.extract += partial.extract;
-    result.times.query += partial.query;
-    ++(partial.cache_hit ? result.times.cache_hits
-                         : result.times.cache_misses);
-    for (std::size_t k = 0; k < partial.found_coords.size(); ++k) {
-      found.append(partial.found_coords.point(k));
-    }
-    values.insert(values.end(), partial.found_values.begin(),
-                  partial.found_values.end());
-  }
-
-  timer.reset();
-  std::vector<index_t> addresses(found.size());
-  parallel_for_each(found.size(), [&](std::size_t i) {
-    addresses[i] = linearize(found.point(i), shape_);
-  });
-  const std::vector<std::size_t> order = sort_permutation(addresses);
-  const std::size_t rank = shape_.rank();
-  std::vector<index_t> flat(order.size() * rank);
-  std::vector<value_t> sorted_values(order.size());
-  parallel_for_each(order.size(), [&](std::size_t i) {
-    const auto point = found.point(order[i]);
-    std::copy(point.begin(), point.end(), flat.begin() + i * rank);
-    sorted_values[i] = values[order[i]];
-  });
-  result.coords = CoordBuffer(rank, std::move(flat));
-  result.values = std::move(sorted_values);
-  result.times.merge = timer.seconds();
-  return result;
+  return snapshot().scan_region_where(region, range);
 }
 
 WriteResult FragmentStore::consolidate(std::optional<OrgKind> org) {
-  // Scan every fragment in parallel (each resolves through the cache),
-  // then merge sequentially in write order so a cell written more than once
-  // keeps the *latest* value (fragments_ is in write order; rescan() sorts
-  // by filename, which names fragments in write order too).
+  const std::scoped_lock lock(writer_mutex_);
+  // Merge from a pinned snapshot of the current generation. Reads here are
+  // always strict: merging must never silently drop data before the old
+  // fragments are obsoleted.
+  const std::shared_ptr<const Manifest> manifest = current_manifest();
   ARTSPARSE_SPAN_TYPE consolidate_span("store.consolidate", "store");
-  consolidate_span.attr("fragments",
-                        static_cast<std::uint64_t>(fragments_.size()));
+  consolidate_span.attr(
+      "fragments", static_cast<std::uint64_t>(manifest->fragment_count()));
   ARTSPARSE_COUNT("artsparse_store_consolidations_total", 1);
   const Box whole = Box::whole(shape_);
+  const std::vector<ManifestEntry>& sources = manifest->entries();
   std::vector<std::vector<std::pair<index_t, value_t>>> partials(
-      fragments_.size());
+      sources.size());
   parallel_for_each(
-      fragments_.size(),
+      sources.size(),
       [&](std::size_t i) {
         const FragmentCache::Lookup lookup =
-            cache_->get(fragments_[i].path.string(), model_);
+            cache_->get(sources[i].cache_key, sources[i].path(), model_);
         const OpenFragment& fragment = *lookup.fragment;
         CoordBuffer points(shape_.rank());
         std::vector<std::size_t> slots;
@@ -504,15 +720,12 @@ WriteResult FragmentStore::consolidate(std::optional<OrgKind> org) {
                  .org;
   }
 
-  clear();
-  return write(coords, values, chosen);
+  return write_locked(coords, values, chosen, /*replace=*/true);
 }
 
 void FragmentStore::rescan() {
+  const std::scoped_lock lock(writer_mutex_);
   cache_->invalidate_all();
-  fragments_.clear();
-  rtree_dirty_ = true;
-  next_id_ = 0;
   last_scan_ = ScanReport{};
   std::vector<std::filesystem::path> paths;
   for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
@@ -534,6 +747,18 @@ void FragmentStore::rescan() {
     }
   }
   std::sort(paths.begin(), paths.end());
+
+  // Reuse the live manifest's file handles for paths it already tracks, so
+  // a pinned snapshot's deferred-deletion guarantee survives a rescan (two
+  // independent handles to one path could otherwise unlink it early).
+  const std::shared_ptr<const Manifest> current = current_manifest();
+  std::map<std::string, const ManifestEntry*> known;
+  for (const ManifestEntry& entry : current->entries()) {
+    known[entry.path()] = &entry;
+  }
+  const std::uint64_t born = current->generation() + 1;
+
+  std::vector<ManifestEntry> entries;
   for (const auto& path : paths) {
     // Gate every fragment through the check subsystem at header depth
     // (header parse + payload checksum); a torn or bit-rotted file is
@@ -561,8 +786,18 @@ void FragmentStore::rescan() {
     detail::require(info.shape == shape_,
                     "fragment shape does not match store shape: " +
                         path.string());
-    fragments_.push_back(Entry{path, info.bbox, info.org, raw.size(),
-                               info.value_min, info.value_max});
+    ManifestEntry entry;
+    const auto it = known.find(path.string());
+    entry.file = it != known.end()
+                     ? it->second->file
+                     : std::make_shared<FragmentFile>(path);
+    entry.cache_key = path.string() + "@g" + std::to_string(born);
+    entry.bbox = info.bbox;
+    entry.org = info.org;
+    entry.file_bytes = raw.size();
+    entry.value_min = info.value_min;
+    entry.value_max = info.value_max;
+    entries.push_back(std::move(entry));
     // Keep new fragment names past any existing id, even with gaps.
     std::size_t id = 0;
     if (std::sscanf(path.filename().string().c_str(), "frag_%zu.asf", &id) ==
@@ -570,25 +805,43 @@ void FragmentStore::rescan() {
       next_id_ = std::max(next_id_, id + 1);
     }
   }
+  publish_locked(std::move(entries));
+}
+
+ScanReport FragmentStore::last_scan() const {
+  const std::scoped_lock lock(writer_mutex_);
+  return last_scan_;
+}
+
+void FragmentStore::set_retry_policy(const RetryPolicy& policy) {
+  const std::scoped_lock lock(writer_mutex_);
+  retry_ = policy;
+}
+
+RetryPolicy FragmentStore::retry_policy() const {
+  const std::scoped_lock lock(writer_mutex_);
+  return retry_;
 }
 
 void FragmentStore::clear() {
-  cache_->invalidate_all();
-  for (const Entry& entry : fragments_) {
-    std::error_code ec;
-    std::filesystem::remove(entry.path, ec);
+  const std::scoped_lock lock(writer_mutex_);
+  const std::shared_ptr<const Manifest> current = current_manifest();
+  for (const ManifestEntry& entry : current->entries()) {
+    entry.file->doom();
+    cache_->invalidate(entry.cache_key);
   }
-  fragments_.clear();
-  rtree_dirty_ = true;
-  next_id_ = 0;
+  publish_locked({});
+  // `current` (usually the last reference) releases on return, unlinking
+  // the doomed files unless a pinned snapshot still holds them. Fragment
+  // ids deliberately keep counting: see the header contract.
+}
+
+std::size_t FragmentStore::fragment_count() const {
+  return current_manifest()->fragment_count();
 }
 
 std::size_t FragmentStore::total_file_bytes() const {
-  std::size_t total = 0;
-  for (const Entry& entry : fragments_) {
-    total += entry.file_bytes;
-  }
-  return total;
+  return current_manifest()->total_file_bytes();
 }
 
 }  // namespace artsparse

@@ -9,11 +9,14 @@
 // discussion of Fig. 5.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <filesystem>
 #include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,6 +27,7 @@
 #include "core/types.hpp"
 #include "storage/compress/codec.hpp"
 #include "storage/fragment_cache.hpp"
+#include "storage/manifest.hpp"
 #include "storage/retry.hpp"
 #include "storage/rtree.hpp"
 #include "storage/throttle.hpp"
@@ -92,14 +96,86 @@ struct ValueRange {
   }
 };
 
+/// A pinned, immutable view of the store at one manifest generation.
+///
+/// Holding a Snapshot guarantees two things for as long as it lives: every
+/// read through it resolves exactly the fragment set that was committed
+/// when it was taken (writes, consolidation, clears, and rescans published
+/// afterwards are invisible), and the underlying fragment files stay on
+/// disk even if a later generation obsoleted them (deferred deletion via
+/// the manifest's FragmentFile handles). Snapshots are cheap — two
+/// shared_ptr copies — and safe to use from any number of threads.
+class Snapshot {
+ public:
+  std::uint64_t generation() const { return manifest_->generation(); }
+  std::size_t fragment_count() const { return manifest_->fragment_count(); }
+  std::size_t total_file_bytes() const {
+    return manifest_->total_file_bytes();
+  }
+  const Shape& tensor_shape() const { return shape_; }
+  const Manifest& manifest() const { return *manifest_; }
+  FragmentCache& cache() const { return *cache_; }
+
+  /// Algorithm 3 READ for an arbitrary coordinate list.
+  ReadResult read(const CoordBuffer& queries) const;
+
+  /// READ over every cell of a contiguous region (one existence query per
+  /// region cell, faithful to Algorithm 3).
+  ReadResult read_region(const Box& region) const;
+
+  /// Region read via the formats' native box scans: touches only stored
+  /// entries, so cost tracks hits rather than region volume.
+  ReadResult scan_region(const Box& region) const;
+
+  /// scan_region restricted to values inside `range`. Fragments whose
+  /// recorded [min, max] statistics cannot intersect the range are skipped
+  /// without being opened (predicate pushdown, as TileDB/HDF5 filters do).
+  ReadResult scan_region_where(const Box& region,
+                               const ValueRange& range) const;
+
+  /// Executes many box scans against this snapshot as one batch: each
+  /// fragment touched by any of the regions is resolved through the cache
+  /// and decoded at most once, then searched for every region that
+  /// overlaps it. Results are byte-identical to calling scan_region per
+  /// region, in the same order. The decoded fragments are pinned in the
+  /// cache's pinned-bytes accounting for the duration of the batch. This
+  /// is the storage half of the service layer's batched read API.
+  std::vector<ReadResult> scan_batch(std::span<const Box> regions) const;
+
+ private:
+  friend class FragmentStore;
+  Snapshot(std::shared_ptr<const Manifest> manifest,
+           std::shared_ptr<FragmentCache> cache, Shape shape,
+           DeviceModel model, ReadFaultPolicy fault_policy)
+      : manifest_(std::move(manifest)),
+        cache_(std::move(cache)),
+        shape_(std::move(shape)),
+        model_(model),
+        fault_policy_(fault_policy) {}
+
+  /// Per-hit partial result of the fan-out read paths, merged in hit
+  /// order.
+  struct Partial;
+
+  std::shared_ptr<const Manifest> manifest_;
+  std::shared_ptr<FragmentCache> cache_;
+  Shape shape_;
+  DeviceModel model_;
+  ReadFaultPolicy fault_policy_;
+};
+
 /// Directory-backed fragment store for one sparse tensor.
 ///
-/// Concurrency contract: any number of threads may run the read-side entry
-/// points (read/read_region/scan_region/scan_region_where) concurrently —
-/// fragment resolution goes through the thread-safe FragmentCache and the
-/// lazy R-tree rebuild is mutex-guarded. Mutating operations (write, clear,
-/// consolidate, rescan) require external synchronization against readers,
-/// as before.
+/// Concurrency contract: every entry point is safe to call from any
+/// thread at any time, with no external synchronization. Reads
+/// (read/read_region/scan_region/scan_region_where, and pinned Snapshots)
+/// see an immutable manifest generation; mutating operations (write,
+/// consolidate, clear, rescan) serialize among themselves on an internal
+/// writer mutex and publish a new generation through the crash-consistent
+/// commit path, so a consolidation or repair rescan can run under live
+/// read traffic. A reader that started before a mutation completes against
+/// the generation it pinned; obsoleted fragment files are unlinked only
+/// after the last reader referencing them finishes (deferred deletion).
 class FragmentStore {
  public:
   /// Creates/opens `directory` for a tensor of `shape`. Fragment traffic is
@@ -112,10 +188,20 @@ class FragmentStore {
                 CodecKind codec = CodecKind::kIdentity,
                 std::shared_ptr<FragmentCache> cache = nullptr);
 
+  /// Pins the current manifest generation for consistent multi-read work
+  /// (and for the service layer's batched reads). See Snapshot.
+  Snapshot snapshot() const;
+
+  /// The current manifest generation: 1 after open, bumped by every
+  /// publish (write, consolidate, clear, rescan). Mirrored to the
+  /// artsparse_store_generation gauge, labeled by store directory.
+  std::uint64_t generation() const;
+
   /// Algorithm 3 WRITE: builds `org`'s index over `coords`, reorganizes
   /// `values` by the build map, concatenates, and commits one fragment
   /// crash-consistently (stage at <name>.asf.tmp, fsync, rename, fsync the
-  /// directory), retrying transient I/O errors per retry_policy().
+  /// directory), retrying transient I/O errors per retry_policy(). The new
+  /// fragment becomes visible to readers atomically, as a new generation.
   WriteResult write(const CoordBuffer& coords,
                     std::span<const value_t> values, OrgKind org);
 
@@ -140,11 +226,14 @@ class FragmentStore {
                                const ValueRange& range) const;
 
   /// Consolidates the whole store into a single fragment (TileDB-style
-  /// compaction): reads every point, deduplicates cells written more than
-  /// once keeping the *latest* write, deletes the old fragments, and
-  /// rewrites with `org` (or, when unset, whatever the advisor's balanced
-  /// cost model recommends for the merged data). Returns the write result
-  /// of the new fragment.
+  /// compaction): reads every point from a pinned snapshot, deduplicates
+  /// cells written more than once keeping the *latest* write, rewrites
+  /// with `org` (or, when unset, whatever the advisor's balanced cost
+  /// model recommends for the merged data), and publishes a new generation
+  /// containing only the merged fragment. Concurrent readers keep
+  /// answering from the generation they pinned; the replaced fragment
+  /// files are unlinked when the last such reader finishes. Returns the
+  /// write result of the new fragment.
   WriteResult consolidate(std::optional<OrgKind> org = std::nullopt);
 
   /// Re-scans the directory, picking up fragments written by other store
@@ -152,15 +241,17 @@ class FragmentStore {
   /// removed, and fragments failing the check subsystem's header-depth
   /// validation (torn writes, bit rot) are renamed to *.asf.quarantine and
   /// not loaded. Stray non-fragment files are ignored. Everything swept is
-  /// reported in last_scan().
+  /// reported in last_scan(). Publishes a new generation; in-flight reads
+  /// finish against the one they pinned.
   void rescan();
 
   /// What the most recent open()/rescan() swept, quarantined, or ignored.
-  const ScanReport& last_scan() const { return last_scan_; }
+  /// Returns a copy: safe to call while another thread rescans.
+  ScanReport last_scan() const;
 
   /// Retry schedule for transient I/O errors on the commit path.
-  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
-  const RetryPolicy& retry_policy() const { return retry_; }
+  void set_retry_policy(const RetryPolicy& policy);
+  RetryPolicy retry_policy() const;
 
   /// How reads treat a fragment that fails to load: kStrict (default)
   /// throws; kSkip drops it and reports it in ReadResult::skipped, so one
@@ -168,14 +259,19 @@ class FragmentStore {
   /// consolidate() is always strict — merging must never silently drop
   /// data before deleting the source fragments.
   void set_read_fault_policy(ReadFaultPolicy policy) {
-    read_fault_policy_ = policy;
+    read_fault_policy_.store(policy, std::memory_order_relaxed);
   }
-  ReadFaultPolicy read_fault_policy() const { return read_fault_policy_; }
+  ReadFaultPolicy read_fault_policy() const {
+    return read_fault_policy_.load(std::memory_order_relaxed);
+  }
 
-  /// Deletes every fragment file and forgets them.
+  /// Publishes an empty generation. Fragment files are unlinked once no
+  /// snapshot references them (immediately, when none is held). Fragment
+  /// ids are NOT recycled: a cleared store keeps numbering where it left
+  /// off, so no path can ever name two different fragments.
   void clear();
 
-  std::size_t fragment_count() const { return fragments_.size(); }
+  std::size_t fragment_count() const;
   const Shape& tensor_shape() const { return shape_; }
   const std::filesystem::path& directory() const { return directory_; }
 
@@ -186,45 +282,40 @@ class FragmentStore {
   std::size_t total_file_bytes() const;
 
  private:
-  struct Entry {
-    std::filesystem::path path;
-    Box bbox;
-    OrgKind org;
-    std::size_t file_bytes = 0;
-    value_t value_min = 0;  ///< statistics block, for predicate pushdown
-    value_t value_max = 0;
-  };
-
   std::filesystem::path next_fragment_path();
 
-  /// Fragments whose bounding box overlaps `box` (Algorithm 3 line 4).
-  /// Linear scan for small stores; an STR R-tree over the fragment boxes
-  /// (rebuilt lazily after appends) once the store passes
-  /// kRtreeThreshold fragments. Safe under concurrent reads: the lazy
-  /// rebuild is guarded by rtree_mutex_.
-  std::vector<const Entry*> discover(const Box& box) const;
+  /// The current generation's manifest. Readers copy the shared_ptr under
+  /// a brief mutex; writers publish a successor with publish_locked().
+  std::shared_ptr<const Manifest> current_manifest() const;
 
-  /// Per-hit partial result of the fan-out read paths, merged in hit order.
-  struct Partial;
+  /// Swaps in `entries` as generation current+1 and updates the
+  /// generation gauge. Caller holds writer_mutex_.
+  void publish_locked(std::vector<ManifestEntry> entries);
 
-  static constexpr std::size_t kRtreeThreshold = 32;
+  /// WRITE body. Caller holds writer_mutex_. When `replace` is set the
+  /// new manifest contains only the new fragment and every previous
+  /// entry's file is doomed (consolidate's publish).
+  WriteResult write_locked(const CoordBuffer& coords,
+                           std::span<const value_t> values, OrgKind org,
+                           bool replace);
 
   std::filesystem::path directory_;
   Shape shape_;
   DeviceModel model_;
   CodecKind codec_;
   std::shared_ptr<FragmentCache> cache_;
-  RetryPolicy retry_;
-  ReadFaultPolicy read_fault_policy_ = ReadFaultPolicy::kStrict;
-  ScanReport last_scan_;
-  std::vector<Entry> fragments_;
-  std::size_t next_id_ = 0;
-  /// Lazily (re)built spatial index; mutable because discovery is
-  /// logically const. rtree_mutex_ serializes the rebuild so concurrent
-  /// first reads are safe.
-  mutable std::mutex rtree_mutex_;
-  mutable RTree rtree_;
-  mutable bool rtree_dirty_ = true;
+  std::atomic<ReadFaultPolicy> read_fault_policy_{ReadFaultPolicy::kStrict};
+
+  /// Serializes mutating operations (write/consolidate/clear/rescan)
+  /// against each other. Readers never take it.
+  mutable std::mutex writer_mutex_;
+  RetryPolicy retry_;          ///< guarded by writer_mutex_
+  ScanReport last_scan_;       ///< guarded by writer_mutex_
+  std::size_t next_id_ = 0;    ///< guarded by writer_mutex_; never reset
+
+  /// Guards the manifest pointer swap only (reads are a shared_ptr copy).
+  mutable std::mutex manifest_mutex_;
+  std::shared_ptr<const Manifest> manifest_;
 };
 
 }  // namespace artsparse

@@ -1,0 +1,83 @@
+#include "storage/manifest.hpp"
+
+#include <algorithm>
+
+#include "core/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace artsparse {
+
+FragmentFile::~FragmentFile() {
+  if (!doomed()) return;
+  // Last reference to an obsoleted fragment: every manifest (and thus
+  // every pinned snapshot) that could resolve it is gone, so the file can
+  // finally leave the disk. Errors are swallowed — the file may already
+  // have been removed by an external repair sweep.
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);
+  ARTSPARSE_COUNT("artsparse_store_deferred_unlinks_total", 1);
+}
+
+Manifest::Manifest(std::uint64_t generation,
+                   std::vector<ManifestEntry> entries, Shape shape)
+    : generation_(generation),
+      entries_(std::move(entries)),
+      shape_(std::move(shape)) {}
+
+std::size_t Manifest::total_file_bytes() const {
+  std::size_t total = 0;
+  for (const ManifestEntry& entry : entries_) {
+    total += entry.file_bytes;
+  }
+  return total;
+}
+
+std::vector<const ManifestEntry*> Manifest::discover(const Box& box) const {
+  std::vector<const ManifestEntry*> hits;
+  if (entries_.size() < kRtreeThreshold) {
+    for (const ManifestEntry& entry : entries_) {
+      if (!entry.bbox.empty() && entry.bbox.overlaps(box)) {
+        hits.push_back(&entry);
+      }
+    }
+    return hits;
+  }
+  if (!rtree_built_.load(std::memory_order_acquire)) {
+    // Serialize the one-time build; after the release-store the tree is
+    // immutable for this manifest's lifetime, so concurrent visits below
+    // are read-only and safe.
+    const std::scoped_lock lock(rtree_mutex_);
+    if (!rtree_built_.load(std::memory_order_relaxed)) {
+      ARTSPARSE_SPAN_TYPE rebuild_span("store.rtree_rebuild", "store");
+      rebuild_span.attr("fragments",
+                        static_cast<std::uint64_t>(entries_.size()));
+      WallTimer rebuild_timer;
+      // Empty-bbox fragments (zero points) can never overlap; give them a
+      // degenerate placeholder the tree accepts, then filter on visit.
+      std::vector<Box> boxes;
+      boxes.reserve(entries_.size());
+      const Box placeholder(std::vector<index_t>(shape_.rank(), 0),
+                            std::vector<index_t>(shape_.rank(), 0));
+      for (const ManifestEntry& entry : entries_) {
+        boxes.push_back(entry.bbox.empty() ? placeholder : entry.bbox);
+      }
+      rtree_ = RTree::bulk_load(boxes);
+      ARTSPARSE_COUNT("artsparse_store_rtree_rebuilds_total", 1);
+      ARTSPARSE_OBSERVE("artsparse_store_rtree_rebuild_ns",
+                        rebuild_timer.seconds() * 1e9);
+      rtree_built_.store(true, std::memory_order_release);
+    }
+  }
+  rtree_.visit(box, [&](std::size_t id) {
+    const ManifestEntry& entry = entries_[id];
+    if (!entry.bbox.empty() && entry.bbox.overlaps(box)) {
+      hits.push_back(&entry);
+    }
+  });
+  // Keep write order (the linear path's order) for deterministic results.
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+}  // namespace artsparse

@@ -1,0 +1,117 @@
+// Manifest generations: the snapshot-isolation substrate of FragmentStore.
+//
+// A Manifest is an immutable, refcounted picture of the committed fragment
+// set at one generation number. Readers pin a generation by copying a
+// shared_ptr<const Manifest> and keep reading that exact fragment set no
+// matter what writers do; writers (write/consolidate/clear/rescan) build a
+// successor Manifest and publish it atomically under the store's writer
+// mutex. This is the manifest/commit-log pattern Delta-Lake-style stores
+// (and Delta Tensor) use: the on-disk commit point is still PR 3's
+// stage -> fsync -> rename chain, and the in-memory manifest chain gives
+// concurrent readers a consistent view of which renamed files exist.
+//
+// Fragment files are shared between generations through FragmentFile
+// handles. Replacing or clearing a fragment dooms its handle; the file is
+// unlinked only when the last manifest referencing it is released, so a
+// pinned snapshot keeps resolving pre-consolidation fragments from disk
+// even after the store has moved on. Fragment ids are never recycled
+// within a store's lifetime, so a path uniquely names one fragment's bytes
+// for as long as any reader can reach it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/box.hpp"
+#include "core/shape.hpp"
+#include "core/types.hpp"
+#include "storage/rtree.hpp"
+
+namespace artsparse {
+
+/// Shared handle to one committed fragment file. Manifests of successive
+/// generations share the handle; doom() marks the file obsolete, and the
+/// destructor of the *last* manifest that references it unlinks it — the
+/// deferred-deletion half of snapshot isolation.
+class FragmentFile {
+ public:
+  explicit FragmentFile(std::filesystem::path path)
+      : path_(std::move(path)) {}
+  ~FragmentFile();
+
+  FragmentFile(const FragmentFile&) = delete;
+  FragmentFile& operator=(const FragmentFile&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+
+  /// Marks the file for deletion once the last referencing manifest goes
+  /// away. Safe to call from any thread; idempotent.
+  void doom() { doomed_.store(true, std::memory_order_relaxed); }
+  bool doomed() const { return doomed_.load(std::memory_order_relaxed); }
+
+ private:
+  std::filesystem::path path_;
+  std::atomic<bool> doomed_{false};
+};
+
+/// One committed fragment as a manifest lists it: the shared file handle
+/// plus the header statistics discovery prunes on.
+struct ManifestEntry {
+  std::shared_ptr<FragmentFile> file;
+  /// Cache key: "<path>@g<generation born>". Paths are never recycled
+  /// within a store lifetime, and the generation tag makes a key unique
+  /// across rescans too, so the FragmentCache can never serve bytes from a
+  /// fragment this entry does not mean.
+  std::string cache_key;
+  Box bbox;
+  OrgKind org = OrgKind::kCoo;
+  std::size_t file_bytes = 0;
+  value_t value_min = 0;  ///< statistics block, for predicate pushdown
+  value_t value_max = 0;
+
+  std::string path() const { return file->path().string(); }
+};
+
+/// Immutable fragment set at one generation. Entry order is write order
+/// (rescan sorts by filename, which names fragments in write order), which
+/// every read path relies on for deterministic merges.
+class Manifest {
+ public:
+  Manifest(std::uint64_t generation, std::vector<ManifestEntry> entries,
+           Shape shape);
+
+  std::uint64_t generation() const { return generation_; }
+  const std::vector<ManifestEntry>& entries() const { return entries_; }
+  std::size_t fragment_count() const { return entries_.size(); }
+
+  /// Total bytes across this generation's fragment files (Fig. 4 metric).
+  std::size_t total_file_bytes() const;
+
+  /// Entries whose bounding box overlaps `box` (Algorithm 3 line 4), in
+  /// entry (write) order. Linear scan for small manifests; an STR R-tree
+  /// over the fragment boxes once the manifest passes kRtreeThreshold
+  /// entries. The tree is built lazily at most once per generation —
+  /// manifests are immutable, so it can never go stale — and the build is
+  /// mutex-guarded, making discovery safe from any number of threads.
+  std::vector<const ManifestEntry*> discover(const Box& box) const;
+
+  static constexpr std::size_t kRtreeThreshold = 32;
+
+ private:
+  std::uint64_t generation_;
+  std::vector<ManifestEntry> entries_;
+  Shape shape_;
+  /// Lazily built spatial index; mutable because discovery is logically
+  /// const. Guarded by rtree_mutex_; rtree_built_ is atomic so the common
+  /// already-built case is one relaxed load, no lock.
+  mutable std::mutex rtree_mutex_;
+  mutable RTree rtree_;
+  mutable std::atomic<bool> rtree_built_{false};
+};
+
+}  // namespace artsparse

@@ -1,5 +1,6 @@
 #include "storage/throttle.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -17,6 +18,43 @@ namespace {
 constexpr double kSpinTailSec = 1e-3;
 
 }  // namespace
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_per_sec_(rate_per_sec > 0.0 ? rate_per_sec : 0.0),
+      burst_(burst >= 0.0 ? burst : rate_per_sec_),
+      tokens_(burst >= 0.0 ? burst : rate_per_sec_),
+      last_(std::chrono::steady_clock::now()) {}
+
+void TokenBucket::refill_locked() const {
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(now - last_).count();
+  last_ = now;
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_per_sec_);
+}
+
+bool TokenBucket::try_acquire(double tokens) {
+  if (!enabled()) return true;
+  const std::scoped_lock lock(mutex_);
+  refill_locked();
+  if (tokens_ < tokens) return false;
+  tokens_ -= tokens;
+  return true;
+}
+
+void TokenBucket::force_debit(double tokens) {
+  if (!enabled()) return;
+  const std::scoped_lock lock(mutex_);
+  refill_locked();
+  tokens_ -= tokens;
+}
+
+double TokenBucket::available() const {
+  if (!enabled()) return 0.0;
+  const std::scoped_lock lock(mutex_);
+  refill_locked();
+  return tokens_;
+}
 
 ThrottledFile::ThrottledFile(std::unique_ptr<FileDevice> inner,
                              DeviceModel model)

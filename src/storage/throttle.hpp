@@ -12,11 +12,54 @@
 // passthrough is the default for correctness paths.
 #pragma once
 
+#include <chrono>
 #include <memory>
+#include <mutex>
 
 #include "storage/file_io.hpp"
 
 namespace artsparse {
+
+/// Thread-safe token bucket: refills `rate_per_sec` tokens per second up
+/// to a `burst` ceiling. Unlike ThrottledFile below — which *charges time*
+/// to model a slow device — the bucket *rejects*: try_acquire() never
+/// blocks, so it is the primitive admission control builds per-tenant
+/// ops/sec and bytes/sec quotas on. A rate of 0 disables the bucket
+/// (every acquire succeeds).
+class TokenBucket {
+ public:
+  /// `burst` defaults to one second's worth of tokens; the bucket starts
+  /// full so quotas admit an initial burst instead of starving cold
+  /// tenants.
+  explicit TokenBucket(double rate_per_sec, double burst = -1.0);
+
+  /// Debits `tokens` and returns true when the (refilled) balance covers
+  /// them; otherwise returns false leaving the balance untouched. A
+  /// balance in debt (see force_debit) fails even a zero-token acquire
+  /// until the refill pays the debt off.
+  bool try_acquire(double tokens = 1.0);
+
+  /// Unconditionally debits, allowing the balance to go negative (debt).
+  /// Used for post-hoc charging: reads admit optimistically, then charge
+  /// the bytes actually returned, throttling the tenant's *next* request.
+  void force_debit(double tokens);
+
+  /// Current (refilled) balance; may be negative while in debt.
+  double available() const;
+
+  bool enabled() const { return rate_per_sec_ > 0.0; }
+  double rate_per_sec() const { return rate_per_sec_; }
+
+ private:
+  /// Accrues tokens since the last refill. Caller holds mutex_.
+  void refill_locked() const;
+
+  const double rate_per_sec_;
+  const double burst_;
+  mutable std::mutex mutex_;
+  mutable double tokens_ = 0.0;
+  mutable std::chrono::steady_clock::time_point last_{};
+};
 
 /// Bandwidth/latency parameters of the simulated device.
 struct DeviceModel {

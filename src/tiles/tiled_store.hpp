@@ -85,7 +85,7 @@ class TiledStore {
   void set_retry_policy(const RetryPolicy& policy) {
     store_.set_retry_policy(policy);
   }
-  const RetryPolicy& retry_policy() const { return store_.retry_policy(); }
+  RetryPolicy retry_policy() const { return store_.retry_policy(); }
 
   /// Read-side degradation policy, forwarded to the inner store (see
   /// FragmentStore::set_read_fault_policy).
@@ -97,10 +97,21 @@ class TiledStore {
   }
 
   /// Recovery sweep results of the inner store's last open()/rescan().
-  const ScanReport& last_scan() const { return store_.last_scan(); }
+  ScanReport last_scan() const { return store_.last_scan(); }
 
   /// The open-fragment cache tiled reads resolve through.
   FragmentCache& cache() const { return store_.cache(); }
+
+  /// Batched box scans against one pinned generation (see
+  /// Snapshot::scan_batch); each touched fragment decodes at most once.
+  std::vector<ReadResult> scan_batch(std::span<const Box> regions) const {
+    return store_.snapshot().scan_batch(regions);
+  }
+
+  /// The inner FragmentStore, for layers (service core, fsck, benches)
+  /// that need snapshots, generations, or consolidation on a tiled store.
+  FragmentStore& store() { return store_; }
+  const FragmentStore& store() const { return store_; }
 
  private:
   TileGrid grid_;

@@ -36,9 +36,12 @@ TEST_F(ConsolidateTest, MergesFragmentsIntoOne) {
   }
   EXPECT_EQ(store.fragment_count(), 3u);
 
+  const std::uint64_t generation_before = store.generation();
   const WriteResult merged = store.consolidate(OrgKind::kGcsr);
   EXPECT_EQ(store.fragment_count(), 1u);
   EXPECT_EQ(merged.point_count, total);
+  // Consolidation publishes exactly one new manifest generation.
+  EXPECT_EQ(store.generation(), generation_before + 1);
 
   const ReadResult all = store.scan_region(Box::whole(shape));
   EXPECT_EQ(all.values.size(), total);

@@ -1,0 +1,102 @@
+// core/env: the hardened environment-knob parsing contract every
+// ARTSPARSE_* integer knob (threads, cache budget, trace capacity, tenant
+// quotas) now shares.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "core/env.hpp"
+#include "service/admission.hpp"
+
+namespace artsparse {
+namespace {
+
+TEST(ParseEnvU64, AcceptsPlainDecimal) {
+  EXPECT_EQ(parse_env_u64("0"), 0u);
+  EXPECT_EQ(parse_env_u64("7"), 7u);
+  EXPECT_EQ(parse_env_u64("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(ParseEnvU64, RejectsUnsetAndEmpty) {
+  EXPECT_EQ(parse_env_u64(nullptr), std::nullopt);
+  EXPECT_EQ(parse_env_u64(""), std::nullopt);
+  EXPECT_EQ(parse_env_u64("   "), std::nullopt);
+}
+
+TEST(ParseEnvU64, RejectsTrailingGarbage) {
+  // The contract's motivating case: "64K" must not half-parse into 64.
+  EXPECT_EQ(parse_env_u64("64K"), std::nullopt);
+  EXPECT_EQ(parse_env_u64("4x"), std::nullopt);
+  EXPECT_EQ(parse_env_u64("12 "), std::nullopt);
+  EXPECT_EQ(parse_env_u64("1.5"), std::nullopt);
+}
+
+TEST(ParseEnvU64, RejectsSigns) {
+  // strtoull would happily wrap "-1" to UINT64_MAX; the contract rejects
+  // any sign instead.
+  EXPECT_EQ(parse_env_u64("-1"), std::nullopt);
+  EXPECT_EQ(parse_env_u64("+4"), std::nullopt);
+}
+
+TEST(ParseEnvU64, BelowFloorIsMalformed) {
+  EXPECT_EQ(parse_env_u64("0", /*floor=*/1), std::nullopt);
+  EXPECT_EQ(parse_env_u64("3", /*floor=*/4), std::nullopt);
+  EXPECT_EQ(parse_env_u64("4", /*floor=*/4), 4u);
+}
+
+TEST(ParseEnvU64, AboveCeilingClampsIncludingOverflow) {
+  EXPECT_EQ(parse_env_u64("100", 0, 64), 64u);
+  // A value past even uint64 saturates in strtoull (ERANGE) and still
+  // clamps to the knob's ceiling rather than wrapping.
+  EXPECT_EQ(parse_env_u64("99999999999999999999999999", 0, 1024), 1024u);
+}
+
+TEST(EnvU64, ReadsProcessEnvironment) {
+  ::setenv("ARTSPARSE_TEST_ENV_U64", "123", 1);
+  EXPECT_EQ(env_u64("ARTSPARSE_TEST_ENV_U64"), 123u);
+  ::setenv("ARTSPARSE_TEST_ENV_U64", "123junk", 1);
+  EXPECT_EQ(env_u64("ARTSPARSE_TEST_ENV_U64"), std::nullopt);
+  ::unsetenv("ARTSPARSE_TEST_ENV_U64");
+  EXPECT_EQ(env_u64("ARTSPARSE_TEST_ENV_U64"), std::nullopt);
+}
+
+class TenantQuotaEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("ARTSPARSE_TENANT_OPS_PER_SEC");
+    ::unsetenv("ARTSPARSE_TENANT_BYTES_PER_SEC");
+    ::unsetenv("ARTSPARSE_TENANT_MAX_CONCURRENT");
+  }
+};
+
+TEST_F(TenantQuotaEnvTest, UnsetMeansUnlimited) {
+  TearDown();
+  const TenantQuota quota = TenantQuota::from_env();
+  EXPECT_TRUE(quota.unlimited());
+}
+
+TEST_F(TenantQuotaEnvTest, KnobsParse) {
+  ::setenv("ARTSPARSE_TENANT_OPS_PER_SEC", "100", 1);
+  ::setenv("ARTSPARSE_TENANT_BYTES_PER_SEC", "1048576", 1);
+  ::setenv("ARTSPARSE_TENANT_MAX_CONCURRENT", "8", 1);
+  const TenantQuota quota = TenantQuota::from_env();
+  EXPECT_EQ(quota.ops_per_sec, 100.0);
+  EXPECT_EQ(quota.bytes_per_sec, 1048576.0);
+  EXPECT_EQ(quota.max_concurrent, 8u);
+}
+
+TEST_F(TenantQuotaEnvTest, MalformedKnobsIgnoredAndHugeOnesClamp) {
+  // Trailing garbage and zero are malformed (floor is 1): the axis stays
+  // unlimited instead of half-honoring the setting.
+  ::setenv("ARTSPARSE_TENANT_OPS_PER_SEC", "100x", 1);
+  ::setenv("ARTSPARSE_TENANT_BYTES_PER_SEC", "0", 1);
+  // Absurd concurrency clamps to the 1e6 ceiling instead of overflowing.
+  ::setenv("ARTSPARSE_TENANT_MAX_CONCURRENT", "99999999999999999999", 1);
+  const TenantQuota quota = TenantQuota::from_env();
+  EXPECT_EQ(quota.ops_per_sec, 0.0);
+  EXPECT_EQ(quota.bytes_per_sec, 0.0);
+  EXPECT_EQ(quota.max_concurrent, 1'000'000u);
+}
+
+}  // namespace
+}  // namespace artsparse

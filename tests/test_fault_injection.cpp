@@ -245,7 +245,10 @@ TEST_F(FaultInjection, RescanIgnoresAndLogsStrayFiles) {
   write_file((dir_ / "notes.txt").string(), payload(10));
   write_file((dir_ / "junk.bin").string(), payload(10));
 
+  const std::uint64_t generation_before = store.generation();
   store.rescan();
+  // Even a no-op repair rescan publishes a fresh manifest generation.
+  EXPECT_EQ(store.generation(), generation_before + 1);
   EXPECT_EQ(store.fragment_count(), 1u);
   EXPECT_EQ(store.last_scan().ignored.size(), 2u);
   EXPECT_TRUE(fs::exists(dir_ / "notes.txt"));  // ignored, not deleted

@@ -161,8 +161,8 @@ TEST_F(FragmentCacheTest, ClearInvalidatesCachedFragments) {
   EXPECT_EQ(cache->stats().open_count, 0u);
   EXPECT_GE(cache->stats().invalidations, 2u);
 
-  // clear() resets the id counter, so a new write recycles frag_000000.asf;
-  // the read must see the new bytes, not the cached old ones.
+  // Fragment ids are never recycled (clear() keeps the counter), but the
+  // read must still see the new bytes, not any stale cached decode.
   CoordBuffer coords(2);
   coords.append({1, 1});
   const std::vector<value_t> values{42.0};

@@ -1,0 +1,254 @@
+// Snapshot isolation under concurrency: readers race writes,
+// consolidation, and repair rescans with NO external locking — the PR 6
+// store contract. These tests are the ones CI runs under TSan at
+// ARTSPARSE_THREADS=1 and =8; they assert logical stability (a reader
+// always sees some published generation, a pinned snapshot sees exactly
+// its own) while the sanitizer asserts the absence of data races.
+#include <atomic>
+#include <filesystem>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/fragment_store.hpp"
+#include "test_support.hpp"
+
+namespace artsparse {
+namespace {
+
+using testing::fresh_temp_dir;
+
+CoordBuffer block_coords(index_t lo, index_t hi) {
+  CoordBuffer coords(2);
+  for (index_t r = lo; r < hi; ++r) {
+    for (index_t c = lo; c < hi; ++c) {
+      coords.append({r, c});
+    }
+  }
+  return coords;
+}
+
+std::vector<value_t> block_values(std::size_t count, double scale) {
+  std::vector<value_t> values(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    values[i] = scale + static_cast<double>(i);
+  }
+  return values;
+}
+
+class SnapshotStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = fresh_temp_dir("snapstress"); }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(SnapshotStressTest, ReadersRaceConsolidate) {
+  FragmentStore store(dir_, Shape{48, 48});
+  // Disjoint blocks: every generation (pre- or post-consolidation) holds
+  // the same logical point set, so every read must return it exactly.
+  for (index_t lo = 0; lo < 48; lo += 12) {
+    const CoordBuffer coords = block_coords(lo, lo + 12);
+    store.write(coords, block_values(coords.size(), lo), OrgKind::kGcsr);
+  }
+  const Box whole = Box::whole(store.tensor_shape());
+  const ReadResult expected = store.scan_region(whole);
+  ASSERT_EQ(expected.values.size(), 4u * 12u * 12u);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ReadResult result = store.scan_region(whole);
+        if (result.coords != expected.coords ||
+            result.values != expected.values) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int round = 0; round < 5; ++round) {
+    store.consolidate(round % 2 == 0 ? OrgKind::kSortedCoo
+                                     : OrgKind::kGcsr);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(store.fragment_count(), 1u);
+}
+
+TEST_F(SnapshotStressTest, PinnedSnapshotStableAcrossConsolidate) {
+  FragmentStore store(dir_, Shape{32, 32});
+  const CoordBuffer first = block_coords(0, 16);
+  const CoordBuffer second = block_coords(16, 32);
+  const WriteResult w1 =
+      store.write(first, block_values(first.size(), 1.0), OrgKind::kCoo);
+  const WriteResult w2 = store.write(
+      second, block_values(second.size(), 1000.0), OrgKind::kGcsr);
+
+  const Box whole = Box::whole(store.tensor_shape());
+  {
+    const Snapshot pinned = store.snapshot();
+    const ReadResult before = pinned.scan_region(whole);
+    ASSERT_EQ(pinned.fragment_count(), 2u);
+
+    store.consolidate(OrgKind::kSortedCoo);
+    EXPECT_EQ(store.fragment_count(), 1u);
+
+    // The pinned snapshot keeps returning the pre-consolidation result,
+    // resolved from the pre-consolidation files, which deferred deletion
+    // keeps on disk for exactly as long as the pin lives.
+    EXPECT_TRUE(std::filesystem::exists(w1.path));
+    EXPECT_TRUE(std::filesystem::exists(w2.path));
+    const ReadResult after = pinned.scan_region(whole);
+    EXPECT_EQ(after.coords, before.coords);
+    EXPECT_EQ(after.values, before.values);
+    EXPECT_EQ(pinned.fragment_count(), 2u);
+  }
+  // Pin released: the consolidated-away files finally unlink.
+  EXPECT_FALSE(std::filesystem::exists(w1.path));
+  EXPECT_FALSE(std::filesystem::exists(w2.path));
+  EXPECT_EQ(store.scan_region(whole).values.size(),
+            first.size() + second.size());
+}
+
+TEST_F(SnapshotStressTest, ReadersRaceWrites) {
+  FragmentStore store(dir_, Shape{64, 64});
+  // Readers observe a monotonically growing store; every scan must land
+  // exactly on one of the published prefix states (128 points per write).
+  constexpr std::size_t kWrites = 8;
+  constexpr std::size_t kPointsPerWrite = 8 * 8;
+  std::set<std::size_t> valid_sizes;
+  for (std::size_t i = 0; i <= kWrites; ++i) {
+    valid_sizes.insert(i * kPointsPerWrite);
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<int> invalid{0};
+  const Box whole = Box::whole(store.tensor_shape());
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        const std::size_t points = store.scan_region(whole).values.size();
+        if (valid_sizes.count(points) == 0) {
+          invalid.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::size_t i = 0; i < kWrites; ++i) {
+    const index_t lo = static_cast<index_t>(i * 8);
+    const CoordBuffer coords = block_coords(lo, lo + 8);
+    store.write(coords, block_values(coords.size(), i * 10.0),
+                OrgKind::kCoo);
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(invalid.load(), 0);
+  EXPECT_EQ(store.scan_region(whole).values.size(),
+            kWrites * kPointsPerWrite);
+}
+
+TEST_F(SnapshotStressTest, ReadsRaceRepairRescan) {
+  FragmentStore store(dir_, Shape{40, 40});
+  for (index_t lo = 0; lo < 40; lo += 10) {
+    const CoordBuffer coords = block_coords(lo, lo + 10);
+    store.write(coords, block_values(coords.size(), lo), OrgKind::kGcsr);
+  }
+  const Box whole = Box::whole(store.tensor_shape());
+  const ReadResult expected = store.scan_region(whole);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ReadResult result = store.scan_region(whole);
+        if (result.coords != expected.coords ||
+            result.values != expected.values) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Repair-style rescans under live reads: the directory is healthy, so
+  // every rescan republishes the same fragment set as a new generation.
+  for (int round = 0; round < 10; ++round) {
+    store.rescan();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(store.fragment_count(), 4u);
+}
+
+TEST_F(SnapshotStressTest, QuarantinedFragmentNeverSurfacesMidBatch) {
+  FragmentStore store(dir_, Shape{48, 48});
+  store.set_read_fault_policy(ReadFaultPolicy::kSkip);
+  CoordBuffer keep_a = block_coords(0, 16);
+  CoordBuffer victim = block_coords(16, 32);
+  CoordBuffer keep_b = block_coords(32, 48);
+  store.write(keep_a, block_values(keep_a.size(), 1.0), OrgKind::kGcsr);
+  const WriteResult corrupt_me =
+      store.write(victim, block_values(victim.size(), 2.0), OrgKind::kCoo);
+  store.write(keep_b, block_values(keep_b.size(), 3.0), OrgKind::kGcsr);
+
+  // Tear the victim in half, then rescan: the check gate quarantines it
+  // and the published generation excludes it.
+  std::filesystem::resize_file(corrupt_me.path, corrupt_me.file_bytes / 2);
+  store.rescan();
+  ASSERT_EQ(store.fragment_count(), 2u);
+  ASSERT_EQ(store.last_scan().quarantined.size(), 1u);
+
+  // Batched reads across the whole tensor, raced against further rescans:
+  // no batch may ever contain a point from the quarantined fragment, and
+  // none of the surviving fragments may be skipped.
+  const std::vector<Box> regions = {
+      Box({0, 0}, {23, 23}),
+      Box({8, 8}, {39, 39}),
+      Box({24, 24}, {47, 47}),
+  };
+  std::atomic<bool> stop{false};
+  std::atomic<int> leaked{0};
+  std::atomic<int> skipped{0};
+  std::vector<std::thread> batchers;
+  for (int t = 0; t < 3; ++t) {
+    batchers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::vector<ReadResult> results =
+            store.snapshot().scan_batch(regions);
+        for (const ReadResult& result : results) {
+          if (!result.skipped.empty()) {
+            skipped.fetch_add(1, std::memory_order_relaxed);
+          }
+          for (std::size_t i = 0; i < result.coords.size(); ++i) {
+            const auto point = result.coords.point(i);
+            if (point[0] >= 16 && point[0] < 32) {
+              leaked.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (int round = 0; round < 5; ++round) {
+    store.rescan();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& batcher : batchers) batcher.join();
+
+  EXPECT_EQ(leaked.load(), 0);
+  EXPECT_EQ(skipped.load(), 0);
+}
+
+}  // namespace
+}  // namespace artsparse

@@ -15,14 +15,18 @@
 //   artsparse repair   --store DIR [--depth header|structure|full]
 //   artsparse metrics  [--store DIR] [--region R] [--format prometheus|
 //                      json|both] [--trace FILE]
+//   artsparse serve-selftest [--threads N] [--ops N] [--json]
 //
 // Every command prints a one-line summary; data-carrying commands accept
 // --print to dump points, and read/scan accept --json for a machine-
 // readable result that includes an observability telemetry block.
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <thread>
 
 #include "cli_support.hpp"
 
@@ -46,7 +50,8 @@ int usage() {
       "  check     --store DIR [--depth header|structure|full] [--json]\n"
       "  repair    --store DIR [--depth header|structure|full]\n"
       "  metrics   [--store DIR] [--region lo:hi,...]\n"
-      "            [--format prometheus|json|both] [--trace FILE]\n",
+      "            [--format prometheus|json|both] [--trace FILE]\n"
+      "  serve-selftest [--threads N] [--ops N] [--json]\n",
       stderr);
   return 2;
 }
@@ -403,6 +408,187 @@ int cmd_metrics(const Args& args) {
   return 0;
 }
 
+/// Multi-tenant service stress mode: hammers a throwaway store through the
+/// service layer from several threads (two tenants, one of them tightly
+/// quota'd) while consolidation runs concurrently, then cross-checks
+///   - every request the workers saw admitted/rejected is accounted
+///     identically by the AdmissionController (the CI gate),
+///   - batched scans returned byte-identical results to sequential scans,
+///   - no admission slot leaked (in_flight back to 0).
+/// Exits nonzero on any mismatch.
+int cmd_serve_selftest(const Args& args) {
+  const unsigned threads = static_cast<unsigned>(
+      std::stoul(args.get("threads", "4")));
+  const std::size_t ops = std::stoull(args.get("ops", "150"));
+  detail::require(threads >= 1, "--threads must be >= 1");
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("artsparse_serve_" + std::to_string(::getpid()));
+  std::error_code cleanup_ec;
+  std::filesystem::remove_all(dir, cleanup_ec);
+
+  int failures = 0;
+  std::size_t batch_mismatches = 0;
+  std::uint64_t generation_start = 0;
+  std::uint64_t generation_end = 0;
+  struct TenantCounts {
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> rejected{0};
+  };
+  TenantCounts alpha_counts;
+  TenantCounts beta_counts;
+  TenantAdmissionStats alpha_stats;
+  TenantAdmissionStats beta_stats;
+  BatchStats batch_stats;
+
+  {
+    const Shape shape = parse_shape("96,96");
+    FragmentStore store(dir, shape);
+    const SparseDataset dataset =
+        make_dataset(shape, calibrate_gsp(0.05), 11);
+    // Several fragments so scans genuinely fan out and consolidation has
+    // something to merge.
+    const std::size_t chunk = std::max<std::size_t>(
+        1, dataset.point_count() / 4);
+    for (std::size_t lo = 0; lo < dataset.point_count(); lo += chunk) {
+      const std::size_t hi = std::min(lo + chunk, dataset.point_count());
+      CoordBuffer part(shape.rank());
+      for (std::size_t i = lo; i < hi; ++i) {
+        part.append(dataset.coords.point(i));
+      }
+      store.write(part,
+                  std::span<const value_t>(dataset.values.data() + lo,
+                                           hi - lo),
+                  OrgKind::kGcsr);
+    }
+    generation_start = store.generation();
+
+    Service service(store, TenantQuota{});  // alpha: unlimited
+    // beta: tight enough that a multi-threaded run must bounce requests.
+    service.admission().set_quota(
+        "beta", TenantQuota{/*ops_per_sec=*/25.0, /*bytes_per_sec=*/0.0,
+                            /*max_concurrent=*/2});
+
+    // Probe: batched scans must be byte-identical to sequential ones.
+    std::vector<Box> regions;
+    for (index_t lo = 0; lo + 40 <= 96; lo += 16) {
+      regions.push_back(Box({lo, lo / 2}, {lo + 39, lo / 2 + 39}));
+    }
+    const std::vector<ReadResult> batched =
+        store.snapshot().scan_batch(regions);
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+      const ReadResult sequential = store.scan_region(regions[i]);
+      if (batched[i].values != sequential.values ||
+          batched[i].coords != sequential.coords) {
+        ++batch_mismatches;
+      }
+    }
+
+    // Stress: workers alternate tenants; consolidation runs concurrently.
+    std::atomic<bool> stop{false};
+    std::thread consolidator([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        store.consolidate(OrgKind::kSortedCoo);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        Session session =
+            service.session(t % 2 == 0 ? "alpha" : "beta");
+        TenantCounts& counts = t % 2 == 0 ? alpha_counts : beta_counts;
+        const Box region({8, 8}, {72, 72});
+        for (std::size_t i = 0; i < ops; ++i) {
+          try {
+            session.scan(region);
+            counts.admitted.fetch_add(1, std::memory_order_relaxed);
+          } catch (const OverloadedError&) {
+            counts.rejected.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    stop.store(true, std::memory_order_relaxed);
+    consolidator.join();
+
+    generation_end = store.generation();
+    alpha_stats = service.admission().stats("alpha");
+    beta_stats = service.admission().stats("beta");
+    batch_stats = service.batch_stats();
+  }
+  std::filesystem::remove_all(dir, cleanup_ec);
+
+  // The CI gate: what the workers observed must equal what admission
+  // accounted, axis by axis, and nothing may still be in flight.
+  if (alpha_stats.admitted != alpha_counts.admitted.load() ||
+      alpha_stats.rejected() != alpha_counts.rejected.load() ||
+      beta_stats.admitted != beta_counts.admitted.load() ||
+      beta_stats.rejected() != beta_counts.rejected.load() ||
+      alpha_stats.in_flight != 0 || beta_stats.in_flight != 0 ||
+      batch_mismatches != 0) {
+    failures = 1;
+  }
+
+  if (args.has("json")) {
+    std::printf(
+        "{\"ok\": %s, \"threads\": %u, \"ops_per_thread\": %zu,\n"
+        " \"generation\": {\"start\": %llu, \"end\": %llu},\n"
+        " \"tenants\": {\n"
+        "  \"alpha\": {\"admitted\": %llu, \"admitted_accounted\": %llu, "
+        "\"rejected\": %llu, \"rejected_accounted\": %llu, "
+        "\"in_flight\": %zu},\n"
+        "  \"beta\": {\"admitted\": %llu, \"admitted_accounted\": %llu, "
+        "\"rejected\": %llu, \"rejected_accounted\": %llu, "
+        "\"in_flight\": %zu}},\n"
+        " \"batch\": {\"batches\": %llu, \"requests\": %llu, "
+        "\"max_batch\": %llu, \"mismatches\": %zu}}\n",
+        failures == 0 ? "true" : "false", threads, ops,
+        static_cast<unsigned long long>(generation_start),
+        static_cast<unsigned long long>(generation_end),
+        static_cast<unsigned long long>(alpha_counts.admitted.load()),
+        static_cast<unsigned long long>(alpha_stats.admitted),
+        static_cast<unsigned long long>(alpha_counts.rejected.load()),
+        static_cast<unsigned long long>(alpha_stats.rejected()),
+        alpha_stats.in_flight,
+        static_cast<unsigned long long>(beta_counts.admitted.load()),
+        static_cast<unsigned long long>(beta_stats.admitted),
+        static_cast<unsigned long long>(beta_counts.rejected.load()),
+        static_cast<unsigned long long>(beta_stats.rejected()),
+        beta_stats.in_flight,
+        static_cast<unsigned long long>(batch_stats.batches),
+        static_cast<unsigned long long>(batch_stats.requests),
+        static_cast<unsigned long long>(batch_stats.max_batch),
+        batch_mismatches);
+  } else {
+    std::printf(
+        "serve-selftest: %s (%u threads x %zu ops, generation %llu -> "
+        "%llu)\n"
+        "  alpha: %llu admitted, %llu rejected (accounting %s)\n"
+        "  beta:  %llu admitted, %llu rejected (accounting %s)\n"
+        "  batches: %llu for %llu requests (max %llu), %zu result "
+        "mismatches\n",
+        failures == 0 ? "ok" : "FAILED", threads, ops,
+        static_cast<unsigned long long>(generation_start),
+        static_cast<unsigned long long>(generation_end),
+        static_cast<unsigned long long>(alpha_counts.admitted.load()),
+        static_cast<unsigned long long>(alpha_counts.rejected.load()),
+        alpha_stats.admitted == alpha_counts.admitted.load() ? "ok"
+                                                             : "MISMATCH",
+        static_cast<unsigned long long>(beta_counts.admitted.load()),
+        static_cast<unsigned long long>(beta_counts.rejected.load()),
+        beta_stats.admitted == beta_counts.admitted.load() ? "ok"
+                                                           : "MISMATCH",
+        static_cast<unsigned long long>(batch_stats.batches),
+        static_cast<unsigned long long>(batch_stats.requests),
+        static_cast<unsigned long long>(batch_stats.max_batch),
+        batch_mismatches);
+  }
+  return failures;
+}
+
 int run(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   if (args.command == "generate") return cmd_generate(args);
@@ -416,6 +602,7 @@ int run(int argc, char** argv) {
   if (args.command == "check") return cmd_check(args);
   if (args.command == "repair") return cmd_repair(args);
   if (args.command == "metrics") return cmd_metrics(args);
+  if (args.command == "serve-selftest") return cmd_serve_selftest(args);
   return usage();
 }
 
