@@ -1,10 +1,9 @@
 #include "check/contracts.hpp"
 
 #include <atomic>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
+#include "core/env.hpp"
 #include "core/error.hpp"
 
 namespace artsparse::check {
@@ -15,9 +14,10 @@ namespace {
 std::atomic<int> paranoid_override{-1};
 
 bool env_or_compiled_default() {
-  if (const char* env = std::getenv("ARTSPARSE_PARANOID")) {
-    return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
-             std::strcmp(env, "false") == 0 || env[0] == '\0');
+  // Shared flag contract (core/env): "0"/"off"/"false"/empty disable,
+  // any other set value enables.
+  if (const auto enabled = env_flag("ARTSPARSE_PARANOID")) {
+    return *enabled;
   }
 #ifdef ARTSPARSE_PARANOID_DEFAULT
   return true;

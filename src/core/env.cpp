@@ -2,8 +2,25 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <string_view>
 
 namespace artsparse {
+
+namespace {
+
+/// ASCII case-insensitive comparison; locale-independent on purpose so a
+/// Turkish locale cannot change what "OFF" means.
+bool iequals(std::string_view text, std::string_view expected) {
+  if (text.size() != expected.size()) return false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    if (c != expected[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 std::optional<std::uint64_t> parse_env_u64(const char* text,
                                            std::uint64_t floor,
@@ -28,7 +45,33 @@ std::optional<std::uint64_t> parse_env_u64(const char* text,
 
 std::optional<std::uint64_t> env_u64(const char* name, std::uint64_t floor,
                                      std::uint64_t ceiling) {
-  return parse_env_u64(std::getenv(name), floor, ceiling);
+  // The one sanctioned std::getenv site (with env_flag/env_string below):
+  // every other layer reads the environment through these helpers so the
+  // parsing contract stays in one place. Thread-safety note: getenv is
+  // safe against concurrent getenv, only setenv races it, and the code
+  // base never calls setenv outside test setup.
+  return parse_env_u64(std::getenv(name),  // NOLINT(concurrency-mt-unsafe)
+                       floor, ceiling);
+}
+
+std::optional<bool> parse_env_flag(const char* text) {
+  if (text == nullptr) return std::nullopt;
+  const std::string_view value(text);
+  if (value.empty() || iequals(value, "0") || iequals(value, "false") ||
+      iequals(value, "off") || iequals(value, "no")) {
+    return false;
+  }
+  return true;
+}
+
+std::optional<bool> env_flag(const char* name) {
+  return parse_env_flag(std::getenv(name));  // NOLINT(concurrency-mt-unsafe)
+}
+
+std::optional<std::string> env_string(const char* name) {
+  const char* value = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
+  if (value == nullptr) return std::nullopt;
+  return std::string(value);
 }
 
 }  // namespace artsparse

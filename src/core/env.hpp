@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 namespace artsparse {
 
@@ -31,5 +32,23 @@ std::optional<std::uint64_t> env_u64(
 std::optional<std::uint64_t> parse_env_u64(
     const char* text, std::uint64_t floor = 0,
     std::uint64_t ceiling = UINT64_MAX);
+
+/// Parses the environment variable `name` as a boolean switch.
+///
+/// Returns nullopt when unset. Set-but-falsy values — "", "0", "false",
+/// "off", "no" (ASCII case-insensitive) — return false; anything else
+/// returns true, so `ARTSPARSE_TRACE=1`, `=on`, and `=yes` all enable.
+/// One shared falsy set instead of each knob improvising its own ("0" vs
+/// "off" vs empty) keeps every ARTSPARSE_* switch consistent.
+std::optional<bool> env_flag(const char* name);
+
+/// env_flag over an explicit text value (testable core; nullptr = unset).
+std::optional<bool> parse_env_flag(const char* text);
+
+/// Returns the environment variable `name` verbatim, or nullopt when
+/// unset. The single sanctioned way to read a free-form string knob
+/// (fault specs, paths) — call sites outside core/env must not call
+/// std::getenv directly (linter rule ASL001).
+std::optional<std::string> env_string(const char* name);
 
 }  // namespace artsparse

@@ -1,7 +1,7 @@
 #include "core/error.hpp"
 
 #include <cerrno>
-#include <cstring>
+#include <system_error>
 
 namespace artsparse {
 
@@ -27,7 +27,11 @@ IoError IoError::from_errno(const std::string& op, const std::string& path) {
 
 IoError IoError::with_errno(const std::string& op, const std::string& path,
                             int error_number) {
-  return IoError(op + " '" + path + "': " + std::strerror(error_number),
+  // std::generic_category().message() instead of std::strerror: same
+  // text, but thread-safe (strerror may reuse one static buffer, which
+  // concurrent fault-injected commits would race on).
+  return IoError(op + " '" + path + "': " +
+                     std::generic_category().message(error_number),
                  error_number);
 }
 

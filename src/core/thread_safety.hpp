@@ -1,0 +1,179 @@
+// Compile-time concurrency contracts: Clang Thread Safety Analysis
+// attributes behind ARTSPARSE_* macros, plus annotated mutex wrappers the
+// concurrent core declares its locks with.
+//
+// The locking discipline that used to live in comments ("guarded by
+// writer_mutex_", "caller holds mutex_") is written here as attributes the
+// compiler checks: a member annotated ARTSPARSE_GUARDED_BY(mu) may only be
+// touched while `mu` is held, and a function annotated
+// ARTSPARSE_REQUIRES(mu) may only be called with `mu` held. Clang builds
+// with -Werror=thread-safety (the CI static-analysis job) reject
+// violations at compile time; GCC and non-supporting compilers see empty
+// macros and plain std::mutex behavior, so nothing changes for them.
+//
+// Project rules (enforced by tools/artsparse_lint.py):
+//   - every Mutex/SharedMutex member must have at least one
+//     ARTSPARSE_GUARDED_BY / ARTSPARSE_REQUIRES sibling naming it;
+//   - ARTSPARSE_NO_THREAD_SAFETY_ANALYSIS is allowed only in core/parallel
+//     and must carry a justifying comment.
+//
+// The wrappers exist because libstdc++'s std::mutex is not annotated, so
+// the analysis cannot track it. Mutex/SharedMutex are zero-overhead
+// wrappers (one std::mutex / std::shared_mutex member, all methods
+// inline); MutexLock / SharedReaderLock replace std::scoped_lock /
+// std::shared_lock at annotated call sites.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+// Attribute plumbing: real attributes under Clang (any version that ships
+// thread safety analysis exposes them via __has_attribute), nothing
+// elsewhere.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define ARTSPARSE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ARTSPARSE_THREAD_ANNOTATION
+#define ARTSPARSE_THREAD_ANNOTATION(x)  // non-Clang: contracts are comments
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "shared_mutex").
+#define ARTSPARSE_CAPABILITY(x) ARTSPARSE_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define ARTSPARSE_SCOPED_CAPABILITY \
+  ARTSPARSE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be read or written while the named capability is held.
+#define ARTSPARSE_GUARDED_BY(x) ARTSPARSE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded (the pointer itself is not).
+#define ARTSPARSE_PT_GUARDED_BY(x) \
+  ARTSPARSE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability; caller must not already hold it.
+#define ARTSPARSE_ACQUIRE(...) \
+  ARTSPARSE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ARTSPARSE_ACQUIRE_SHARED(...) \
+  ARTSPARSE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability; caller must hold it.
+#define ARTSPARSE_RELEASE(...) \
+  ARTSPARSE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define ARTSPARSE_RELEASE_SHARED(...) \
+  ARTSPARSE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function may only be called with the capability held (the "_locked"
+/// suffix convention, now compiler-checked).
+#define ARTSPARSE_REQUIRES(...) \
+  ARTSPARSE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ARTSPARSE_REQUIRES_SHARED(...) \
+  ARTSPARSE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard
+/// for non-reentrant locks).
+#define ARTSPARSE_EXCLUDES(...) \
+  ARTSPARSE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// try_lock-style function: acquires only when returning `result`.
+#define ARTSPARSE_TRY_ACQUIRE(...) \
+  ARTSPARSE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define ARTSPARSE_RETURN_CAPABILITY(x) \
+  ARTSPARSE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch. Project rule: allowed only in core/parallel, with a
+/// comment justifying why the analysis cannot see the discipline.
+#define ARTSPARSE_NO_THREAD_SAFETY_ANALYSIS \
+  ARTSPARSE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace artsparse {
+
+/// Annotated exclusive mutex. Drop-in for std::mutex where the guarded
+/// members carry ARTSPARSE_GUARDED_BY(this mutex).
+class ARTSPARSE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ARTSPARSE_ACQUIRE() { mu_.lock(); }
+  void unlock() ARTSPARSE_RELEASE() { mu_.unlock(); }
+  bool try_lock() ARTSPARSE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated reader/writer mutex.
+class ARTSPARSE_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ARTSPARSE_ACQUIRE() { mu_.lock(); }
+  void unlock() ARTSPARSE_RELEASE() { mu_.unlock(); }
+  bool try_lock() ARTSPARSE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock_shared() ARTSPARSE_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() ARTSPARSE_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() ARTSPARSE_TRY_ACQUIRE(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over Mutex (std::scoped_lock at annotated sites).
+class ARTSPARSE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ARTSPARSE_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  // Generic release: the analysis pairs it with the constructor's acquire.
+  ~MutexLock() ARTSPARSE_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive lock over SharedMutex.
+class ARTSPARSE_SCOPED_CAPABILITY SharedWriterLock {
+ public:
+  explicit SharedWriterLock(SharedMutex& mu) ARTSPARSE_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.lock();
+  }
+  ~SharedWriterLock() ARTSPARSE_RELEASE() { mu_.unlock(); }
+
+  SharedWriterLock(const SharedWriterLock&) = delete;
+  SharedWriterLock& operator=(const SharedWriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock over SharedMutex.
+class ARTSPARSE_SCOPED_CAPABILITY SharedReaderLock {
+ public:
+  explicit SharedReaderLock(SharedMutex& mu) ARTSPARSE_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedReaderLock() ARTSPARSE_RELEASE() { mu_.unlock_shared(); }
+
+  SharedReaderLock(const SharedReaderLock&) = delete;
+  SharedReaderLock& operator=(const SharedReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace artsparse

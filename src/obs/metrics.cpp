@@ -147,7 +147,7 @@ MetricsRegistry::Entry& MetricsRegistry::find_or_create(
     const Labels& labels, const std::vector<double>* bounds) {
   const Labels ordered = sorted_labels(labels);
   const std::string key = metric_key(name, ordered);
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   auto it = metrics_.find(key);
   if (it != metrics_.end()) {
     artsparse::detail::require(
@@ -202,7 +202,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snapshot;
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   snapshot.samples.reserve(metrics_.size());
   for (const auto& [key, entry] : metrics_) {
     MetricSample sample;
@@ -230,7 +230,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   for (auto& [key, entry] : metrics_) {
     switch (entry.kind) {
       case MetricKind::kCounter:
@@ -246,7 +246,7 @@ void MetricsRegistry::reset() {
 }
 
 std::size_t MetricsRegistry::metric_count() const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   return metrics_.size();
 }
 

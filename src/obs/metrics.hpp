@@ -34,11 +34,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "core/thread_safety.hpp"
 
 namespace artsparse::obs {
 
@@ -229,11 +230,15 @@ class MetricsRegistry {
 
   Entry& find_or_create(MetricKind kind, std::string_view name,
                         std::string_view help, const Labels& labels,
-                        const std::vector<double>* bounds);
+                        const std::vector<double>* bounds)
+      ARTSPARSE_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /// Keyed by name + rendered labels; std::map keeps snapshots sorted.
-  std::map<std::string, Entry> metrics_;
+  /// The returned Counter/Gauge/Histogram references escape the lock by
+  /// design: the objects are heap-held, never erased, and internally
+  /// atomic, so only the map itself needs the mutex.
+  std::map<std::string, Entry> metrics_ ARTSPARSE_GUARDED_BY(mutex_);
 };
 
 /// Shorthand for MetricsRegistry::global().

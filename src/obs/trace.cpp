@@ -2,7 +2,6 @@
 
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 
 #include "core/env.hpp"
 
@@ -49,10 +48,10 @@ TraceBuffer& TraceBuffer::global() {
                     /*ceiling=*/std::size_t{1} << 24)) {
       buffer->set_capacity(static_cast<std::size_t>(*capacity));
     }
-    if (const char* env = std::getenv("ARTSPARSE_TRACE")) {
-      if (env[0] != '\0' && env[0] != '0') {
-        buffer->set_enabled(true);
-      }
+    // Shared flag contract (core/env): "0"/"off"/"false"/empty leave
+    // tracing off, anything else turns it on.
+    if (env_flag("ARTSPARSE_TRACE").value_or(false)) {
+      buffer->set_enabled(true);
     }
     return buffer;
   }();
@@ -60,7 +59,7 @@ TraceBuffer& TraceBuffer::global() {
 }
 
 void TraceBuffer::set_capacity(std::size_t capacity) {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   capacity_ = capacity == 0 ? 1 : capacity;
   ring_.clear();
   ring_.shrink_to_fit();
@@ -70,12 +69,12 @@ void TraceBuffer::set_capacity(std::size_t capacity) {
 }
 
 std::size_t TraceBuffer::capacity() const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   return capacity_;
 }
 
 void TraceBuffer::record(SpanRecord&& record) {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(record));
     return;
@@ -87,7 +86,7 @@ void TraceBuffer::record(SpanRecord&& record) {
 }
 
 std::vector<SpanRecord> TraceBuffer::snapshot() const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   std::vector<SpanRecord> out;
   out.reserve(ring_.size());
   if (wrapped_) {
@@ -102,12 +101,12 @@ std::vector<SpanRecord> TraceBuffer::snapshot() const {
 }
 
 std::uint64_t TraceBuffer::dropped() const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   return dropped_;
 }
 
 void TraceBuffer::clear() {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   ring_.clear();
   next_ = 0;
   wrapped_ = false;

@@ -20,10 +20,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "core/thread_safety.hpp"
 
 namespace artsparse::obs {
 
@@ -80,12 +81,14 @@ class TraceBuffer {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::vector<SpanRecord> ring_;
-  std::size_t capacity_ = kDefaultCapacity;
-  std::size_t next_ = 0;      ///< ring slot the next record lands in
-  bool wrapped_ = false;      ///< ring has lapped at least once
-  std::uint64_t dropped_ = 0;
+  mutable Mutex mutex_;
+  std::vector<SpanRecord> ring_ ARTSPARSE_GUARDED_BY(mutex_);
+  std::size_t capacity_ ARTSPARSE_GUARDED_BY(mutex_) = kDefaultCapacity;
+  /// Ring slot the next record lands in.
+  std::size_t next_ ARTSPARSE_GUARDED_BY(mutex_) = 0;
+  /// Ring has lapped at least once.
+  bool wrapped_ ARTSPARSE_GUARDED_BY(mutex_) = false;
+  std::uint64_t dropped_ ARTSPARSE_GUARDED_BY(mutex_) = 0;
 };
 
 /// RAII span. Opens on construction, records into TraceBuffer::global()

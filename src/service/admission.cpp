@@ -43,21 +43,27 @@ TenantQuota TenantQuota::from_env() {
   return quota;
 }
 
-/// Per-tenant live state. Buckets are heap-held so set_quota can swap them
+/// Per-tenant live state. Each state carries its own mutex guarding the
+/// quota and the bucket pointers, so set_quota on one tenant never
+/// contends with another tenant's admit (the controller's SharedMutex
+/// guards only the map). Buckets are heap-held so apply() can swap them
 /// without disturbing in-flight accounting; in_flight is atomic so Ticket
-/// release never takes the controller mutex.
+/// release never takes any mutex.
 struct Ticket::State {
   std::string tenant;
-  TenantQuota quota;                 ///< guarded by the controller mutex
-  std::shared_ptr<TokenBucket> ops;  ///< swapped under the controller
-  std::shared_ptr<TokenBucket> bytes;  ///< mutex; buckets are thread-safe
+  mutable Mutex mutex;
+  TenantQuota quota ARTSPARSE_GUARDED_BY(mutex);
+  /// Buckets are thread-safe; the shared_ptr keeps a swapped-out bucket
+  /// alive for requests already holding it.
+  std::shared_ptr<TokenBucket> ops ARTSPARSE_GUARDED_BY(mutex);
+  std::shared_ptr<TokenBucket> bytes ARTSPARSE_GUARDED_BY(mutex);
   std::atomic<std::size_t> in_flight{0};
   std::atomic<std::uint64_t> admitted{0};
   std::atomic<std::uint64_t> rejected_ops{0};
   std::atomic<std::uint64_t> rejected_bytes{0};
   std::atomic<std::uint64_t> rejected_concurrency{0};
 
-  void apply(const TenantQuota& next) {
+  void apply(const TenantQuota& next) ARTSPARSE_REQUIRES(mutex) {
     quota = next;
     ops = std::make_shared<TokenBucket>(next.ops_per_sec);
     bytes = std::make_shared<TokenBucket>(next.bytes_per_sec);
@@ -86,11 +92,22 @@ AdmissionController::AdmissionController(TenantQuota default_quota)
 AdmissionController::~AdmissionController() = default;
 
 Ticket::State& AdmissionController::state_for(const std::string& tenant) {
-  const std::scoped_lock lock(mutex_);
+  // Fast path: the tenant already exists, a shared lock suffices. States
+  // are never erased and std::map nodes are address-stable, so the
+  // reference stays valid after the lock drops.
+  {
+    const SharedReaderLock lock(mutex_);
+    const auto it = tenants_.find(tenant);
+    if (it != tenants_.end()) return *it->second;
+  }
+  // Slow path (first sight of this tenant): take the writer lock and
+  // re-check — another thread may have created it between the locks.
+  const SharedWriterLock lock(mutex_);
   auto& slot = tenants_[tenant];
   if (!slot) {
     slot = std::make_unique<Ticket::State>();
     slot->tenant = tenant;
+    const MutexLock state_lock(slot->mutex);
     slot->apply(default_quota_);
   }
   return *slot;
@@ -99,15 +116,15 @@ Ticket::State& AdmissionController::state_for(const std::string& tenant) {
 Ticket AdmissionController::admit(const std::string& tenant,
                                   std::size_t estimated_bytes) {
   Ticket::State& state = state_for(tenant);
-  // Snapshot the quota and buckets under the mutex so a concurrent
-  // set_quota can swap them safely; the buckets themselves are
+  // Snapshot the quota and buckets under the per-tenant mutex so a
+  // concurrent set_quota can swap them safely; the buckets themselves are
   // thread-safe and the shared_ptr keeps a swapped-out bucket alive for
   // requests already holding it.
   std::shared_ptr<TokenBucket> ops;
   std::shared_ptr<TokenBucket> bytes;
   std::size_t max_concurrent = 0;
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(state.mutex);
     ops = state.ops;
     bytes = state.bytes;
     max_concurrent = state.quota.max_concurrent;
@@ -159,7 +176,7 @@ void AdmissionController::charge_bytes(const std::string& tenant,
   Ticket::State& state = state_for(tenant);
   std::shared_ptr<TokenBucket> bucket;
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(state.mutex);
     bucket = state.bytes;
   }
   bucket->force_debit(static_cast<double>(bytes));
@@ -168,14 +185,14 @@ void AdmissionController::charge_bytes(const std::string& tenant,
 void AdmissionController::set_quota(const std::string& tenant,
                                     const TenantQuota& quota) {
   Ticket::State& state = state_for(tenant);
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(state.mutex);
   state.apply(quota);
 }
 
 TenantAdmissionStats AdmissionController::stats(
     const std::string& tenant) const {
   TenantAdmissionStats stats;
-  const std::scoped_lock lock(mutex_);
+  const SharedReaderLock lock(mutex_);
   const auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return stats;
   const Ticket::State& state = *it->second;
@@ -189,7 +206,7 @@ TenantAdmissionStats AdmissionController::stats(
 }
 
 std::vector<std::string> AdmissionController::tenants() const {
-  const std::scoped_lock lock(mutex_);
+  const SharedReaderLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(tenants_.size());
   for (const auto& [name, state] : tenants_) {

@@ -19,10 +19,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/thread_safety.hpp"
 #include "storage/throttle.hpp"
 
 namespace artsparse {
@@ -113,12 +113,20 @@ class AdmissionController {
   std::vector<std::string> tenants() const;
 
  private:
-  Ticket::State& state_for(const std::string& tenant);
+  /// Finds or lazily creates `tenant`'s state: reader-locked lookup on the
+  /// hot path, writer-locked insert the first time a tenant appears. The
+  /// returned reference outlives the lock — states are never erased.
+  Ticket::State& state_for(const std::string& tenant)
+      ARTSPARSE_EXCLUDES(mutex_);
 
   const TenantQuota default_quota_;
-  mutable std::mutex mutex_;
+  /// Guards the tenant map only; each State carries its own mutex for
+  /// quota/bucket swaps, so one tenant's set_quota never stalls another's
+  /// admit.
+  mutable SharedMutex mutex_;
   /// Stable addresses: Ticket holds a raw State* across the map's growth.
-  std::map<std::string, std::unique_ptr<Ticket::State>> tenants_;
+  std::map<std::string, std::unique_ptr<Ticket::State>> tenants_
+      ARTSPARSE_GUARDED_BY(mutex_);
 };
 
 }  // namespace artsparse

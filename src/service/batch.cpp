@@ -14,7 +14,7 @@ ReadResult BatchedReader::scan(const Box& region) {
 
   bool lead = false;
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     queue_.push_back(pending);
     if (!leader_active_) {
       leader_active_ = true;
@@ -30,7 +30,7 @@ ReadResult BatchedReader::scan(const Box& region) {
   while (true) {
     std::vector<std::shared_ptr<Pending>> batch;
     {
-      const std::scoped_lock lock(mutex_);
+      const MutexLock lock(mutex_);
       batch.swap(queue_);
       if (batch.empty()) {
         leader_active_ = false;
@@ -69,7 +69,7 @@ ReadResult BatchedReader::scan(const Box& region) {
 }
 
 BatchStats BatchedReader::stats() const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   return stats_;
 }
 

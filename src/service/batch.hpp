@@ -13,9 +13,9 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "core/thread_safety.hpp"
 #include "storage/fragment_store.hpp"
 
 namespace artsparse {
@@ -51,10 +51,10 @@ class BatchedReader {
   };
 
   const FragmentStore& store_;
-  mutable std::mutex mutex_;
-  bool leader_active_ = false;       ///< guarded by mutex_
-  std::vector<std::shared_ptr<Pending>> queue_;  ///< guarded by mutex_
-  BatchStats stats_;                 ///< guarded by mutex_
+  mutable Mutex mutex_;
+  bool leader_active_ ARTSPARSE_GUARDED_BY(mutex_) = false;
+  std::vector<std::shared_ptr<Pending>> queue_ ARTSPARSE_GUARDED_BY(mutex_);
+  BatchStats stats_ ARTSPARSE_GUARDED_BY(mutex_);
 };
 
 }  // namespace artsparse

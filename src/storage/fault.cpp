@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "core/env.hpp"
 #include "obs/metrics.hpp"
 
 namespace artsparse {
@@ -68,7 +69,7 @@ FaultInjector& FaultInjector::instance() {
 }
 
 void FaultInjector::configure(const std::string& spec) {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   directives_.clear();
   counters_.fill(0);
   std::size_t start = 0;
@@ -103,28 +104,28 @@ void FaultInjector::configure(const std::string& spec) {
 }
 
 void FaultInjector::configure_from_env() {
-  if (const char* spec = std::getenv("ARTSPARSE_FAULT_SPEC")) {
-    configure(spec);
+  if (const auto spec = env_string("ARTSPARSE_FAULT_SPEC")) {
+    configure(*spec);
   }
 }
 
 void FaultInjector::arm(FaultOp op, std::size_t nth, int error_number) {
   detail::require(nth > 0 && error_number > 0,
                   "fault arm: nth and errno must be positive");
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   directives_.push_back(Directive{op, nth, error_number, false});
   enabled_.store(true, std::memory_order_relaxed);
 }
 
 void FaultInjector::arm_crash(FaultOp op, std::size_t nth) {
   detail::require(nth > 0, "fault arm: nth must be positive");
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   directives_.push_back(Directive{op, nth, 0, false});
   enabled_.store(true, std::memory_order_relaxed);
 }
 
 void FaultInjector::reset() {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   directives_.clear();
   counters_.fill(0);
   enabled_.store(false, std::memory_order_relaxed);
@@ -134,7 +135,7 @@ void FaultInjector::on_syscall(FaultOp op, const std::string& path) {
   int error_number = -1;
   std::size_t call = 0;
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     call = ++counters_[static_cast<std::size_t>(op)];
     for (Directive& directive : directives_) {
       if (!directive.fired && directive.op == op && directive.nth == call) {
@@ -157,7 +158,7 @@ void FaultInjector::on_syscall(FaultOp op, const std::string& path) {
 }
 
 std::size_t FaultInjector::calls(FaultOp op) const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   return counters_[static_cast<std::size_t>(op)];
 }
 

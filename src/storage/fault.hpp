@@ -24,11 +24,11 @@
 #include <array>
 #include <atomic>
 #include <cstddef>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/thread_safety.hpp"
 
 namespace artsparse {
 
@@ -101,9 +101,10 @@ class FaultInjector {
   FaultInjector() { configure_from_env(); }
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::array<std::size_t, kFaultOpCount> counters_{};
-  std::vector<Directive> directives_;
+  mutable Mutex mutex_;
+  std::array<std::size_t, kFaultOpCount> counters_
+      ARTSPARSE_GUARDED_BY(mutex_){};
+  std::vector<Directive> directives_ ARTSPARSE_GUARDED_BY(mutex_);
 };
 
 /// Inlineable hook used at each syscall site.

@@ -52,7 +52,7 @@ FragmentCache::FragmentCache(std::size_t budget_bytes)
 FragmentCache::~FragmentCache() {
   // Residents vanish with the cache; return their share of the live
   // gauges so process-wide open_bytes/open_fragments stay truthful.
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   ARTSPARSE_GAUGE_ADD("artsparse_cache_open_bytes",
                       -static_cast<std::int64_t>(open_bytes_));
   ARTSPARSE_GAUGE_ADD("artsparse_cache_open_fragments",
@@ -68,7 +68,7 @@ FragmentCache::Lookup FragmentCache::get(const std::string& key,
                                          const std::string& path,
                                          const DeviceModel& model) {
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
@@ -86,7 +86,7 @@ FragmentCache::Lookup FragmentCache::get(const std::string& key,
   ARTSPARSE_COUNT("artsparse_cache_misses_total", 1);
   ARTSPARSE_OBSERVE("artsparse_cache_load_ns", load_seconds * 1e9);
 
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   ++misses_;
   if (budget_bytes_ == 0) {
     return Lookup{std::move(fragment), false, load_seconds};
@@ -127,7 +127,7 @@ void FragmentCache::add_pinned(std::int64_t delta) {
 }
 
 void FragmentCache::invalidate(const std::string& key) {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) return;
   open_bytes_ -= it->second->second->memory_bytes;
@@ -142,7 +142,7 @@ void FragmentCache::invalidate(const std::string& key) {
 }
 
 void FragmentCache::invalidate_all() {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   invalidations_ += lru_.size();
   ARTSPARSE_COUNT("artsparse_cache_invalidations_total", lru_.size());
   ARTSPARSE_GAUGE_ADD("artsparse_cache_open_bytes",
@@ -155,7 +155,7 @@ void FragmentCache::invalidate_all() {
 }
 
 CacheStats FragmentCache::stats() const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   CacheStats stats;
   stats.hits = hits_;
   stats.misses = misses_;
@@ -170,7 +170,7 @@ CacheStats FragmentCache::stats() const {
 }
 
 void FragmentCache::reset_stats() {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   hits_ = 0;
   misses_ = 0;
   evictions_ = 0;

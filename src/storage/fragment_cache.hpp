@@ -24,13 +24,13 @@
 #include <cstddef>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/box.hpp"
+#include "core/thread_safety.hpp"
 #include "core/shape.hpp"
 #include "core/types.hpp"
 #include "formats/format.hpp"
@@ -148,20 +148,22 @@ class FragmentCache {
 
   /// Inserts at the MRU position and evicts from the LRU end until the
   /// budget holds (the newest entry itself is never evicted, so one
-  /// oversized hot fragment still caches). Caller holds mutex_.
+  /// oversized hot fragment still caches).
   void insert_locked(const std::string& key,
-                     std::shared_ptr<const OpenFragment> fragment);
+                     std::shared_ptr<const OpenFragment> fragment)
+      ARTSPARSE_REQUIRES(mutex_);
 
   const std::size_t budget_bytes_;
 
-  mutable std::mutex mutex_;
-  LruList lru_;
-  std::unordered_map<std::string, LruList::iterator> index_;
-  std::size_t open_bytes_ = 0;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
-  std::size_t evictions_ = 0;
-  std::size_t invalidations_ = 0;
+  mutable Mutex mutex_;
+  LruList lru_ ARTSPARSE_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, LruList::iterator> index_
+      ARTSPARSE_GUARDED_BY(mutex_);
+  std::size_t open_bytes_ ARTSPARSE_GUARDED_BY(mutex_) = 0;
+  std::size_t hits_ ARTSPARSE_GUARDED_BY(mutex_) = 0;
+  std::size_t misses_ ARTSPARSE_GUARDED_BY(mutex_) = 0;
+  std::size_t evictions_ ARTSPARSE_GUARDED_BY(mutex_) = 0;
+  std::size_t invalidations_ ARTSPARSE_GUARDED_BY(mutex_) = 0;
   /// Batch-pinned bytes; atomic so pin/unpin never takes the LRU mutex.
   std::atomic<std::int64_t> pinned_bytes_{0};
 };

@@ -459,8 +459,13 @@ FragmentStore::FragmentStore(std::filesystem::path directory, Shape shape,
     throw IoError("create_directories '" + directory_.string() +
                   "': " + ec.message());
   }
-  manifest_ = std::make_shared<Manifest>(0, std::vector<ManifestEntry>{},
-                                         shape_);
+  {
+    // No concurrent access during construction; locking keeps the
+    // guarded-member discipline uniform for the analysis.
+    const MutexLock lock(manifest_mutex_);
+    manifest_ = std::make_shared<Manifest>(0, std::vector<ManifestEntry>{},
+                                           shape_);
+  }
   rescan();
 }
 
@@ -474,7 +479,7 @@ std::uint64_t FragmentStore::generation() const {
 }
 
 std::shared_ptr<const Manifest> FragmentStore::current_manifest() const {
-  const std::scoped_lock lock(manifest_mutex_);
+  const MutexLock lock(manifest_mutex_);
   return manifest_;
 }
 
@@ -482,7 +487,7 @@ void FragmentStore::publish_locked(std::vector<ManifestEntry> entries) {
   std::shared_ptr<const Manifest> previous;
   std::shared_ptr<const Manifest> next;
   {
-    const std::scoped_lock lock(manifest_mutex_);
+    const MutexLock lock(manifest_mutex_);
     next = std::make_shared<Manifest>(manifest_->generation() + 1,
                                       std::move(entries), shape_);
     previous = std::exchange(manifest_, next);
@@ -502,7 +507,7 @@ std::filesystem::path FragmentStore::next_fragment_path() {
 WriteResult FragmentStore::write(const CoordBuffer& coords,
                                  std::span<const value_t> values,
                                  OrgKind org) {
-  const std::scoped_lock lock(writer_mutex_);
+  const MutexLock lock(writer_mutex_);
   return write_locked(coords, values, org, /*replace=*/false);
 }
 
@@ -657,7 +662,7 @@ ReadResult FragmentStore::scan_region_where(const Box& region,
 }
 
 WriteResult FragmentStore::consolidate(std::optional<OrgKind> org) {
-  const std::scoped_lock lock(writer_mutex_);
+  const MutexLock lock(writer_mutex_);
   // Merge from a pinned snapshot of the current generation. Reads here are
   // always strict: merging must never silently drop data before the old
   // fragments are obsoleted.
@@ -724,7 +729,7 @@ WriteResult FragmentStore::consolidate(std::optional<OrgKind> org) {
 }
 
 void FragmentStore::rescan() {
-  const std::scoped_lock lock(writer_mutex_);
+  const MutexLock lock(writer_mutex_);
   cache_->invalidate_all();
   last_scan_ = ScanReport{};
   std::vector<std::filesystem::path> paths;
@@ -809,22 +814,22 @@ void FragmentStore::rescan() {
 }
 
 ScanReport FragmentStore::last_scan() const {
-  const std::scoped_lock lock(writer_mutex_);
+  const MutexLock lock(writer_mutex_);
   return last_scan_;
 }
 
 void FragmentStore::set_retry_policy(const RetryPolicy& policy) {
-  const std::scoped_lock lock(writer_mutex_);
+  const MutexLock lock(writer_mutex_);
   retry_ = policy;
 }
 
 RetryPolicy FragmentStore::retry_policy() const {
-  const std::scoped_lock lock(writer_mutex_);
+  const MutexLock lock(writer_mutex_);
   return retry_;
 }
 
 void FragmentStore::clear() {
-  const std::scoped_lock lock(writer_mutex_);
+  const MutexLock lock(writer_mutex_);
   const std::shared_ptr<const Manifest> current = current_manifest();
   for (const ManifestEntry& entry : current->entries()) {
     entry.file->doom();

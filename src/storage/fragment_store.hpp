@@ -14,7 +14,6 @@
 #include <filesystem>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -23,6 +22,7 @@
 #include "core/box.hpp"
 #include "core/coords.hpp"
 #include "core/shape.hpp"
+#include "core/thread_safety.hpp"
 #include "core/timer.hpp"
 #include "core/types.hpp"
 #include "storage/compress/codec.hpp"
@@ -282,22 +282,25 @@ class FragmentStore {
   std::size_t total_file_bytes() const;
 
  private:
-  std::filesystem::path next_fragment_path();
+  std::filesystem::path next_fragment_path()
+      ARTSPARSE_REQUIRES(writer_mutex_);
 
   /// The current generation's manifest. Readers copy the shared_ptr under
   /// a brief mutex; writers publish a successor with publish_locked().
-  std::shared_ptr<const Manifest> current_manifest() const;
+  std::shared_ptr<const Manifest> current_manifest() const
+      ARTSPARSE_EXCLUDES(manifest_mutex_);
 
   /// Swaps in `entries` as generation current+1 and updates the
-  /// generation gauge. Caller holds writer_mutex_.
-  void publish_locked(std::vector<ManifestEntry> entries);
+  /// generation gauge.
+  void publish_locked(std::vector<ManifestEntry> entries)
+      ARTSPARSE_REQUIRES(writer_mutex_) ARTSPARSE_EXCLUDES(manifest_mutex_);
 
-  /// WRITE body. Caller holds writer_mutex_. When `replace` is set the
-  /// new manifest contains only the new fragment and every previous
-  /// entry's file is doomed (consolidate's publish).
+  /// WRITE body. When `replace` is set the new manifest contains only the
+  /// new fragment and every previous entry's file is doomed
+  /// (consolidate's publish).
   WriteResult write_locked(const CoordBuffer& coords,
                            std::span<const value_t> values, OrgKind org,
-                           bool replace);
+                           bool replace) ARTSPARSE_REQUIRES(writer_mutex_);
 
   std::filesystem::path directory_;
   Shape shape_;
@@ -307,15 +310,18 @@ class FragmentStore {
   std::atomic<ReadFaultPolicy> read_fault_policy_{ReadFaultPolicy::kStrict};
 
   /// Serializes mutating operations (write/consolidate/clear/rescan)
-  /// against each other. Readers never take it.
-  mutable std::mutex writer_mutex_;
-  RetryPolicy retry_;          ///< guarded by writer_mutex_
-  ScanReport last_scan_;       ///< guarded by writer_mutex_
-  std::size_t next_id_ = 0;    ///< guarded by writer_mutex_; never reset
+  /// against each other. Readers never take it. Lock order: writer_mutex_
+  /// before manifest_mutex_ (publish_locked); never the reverse.
+  mutable Mutex writer_mutex_;
+  RetryPolicy retry_ ARTSPARSE_GUARDED_BY(writer_mutex_);
+  ScanReport last_scan_ ARTSPARSE_GUARDED_BY(writer_mutex_);
+  /// Never reset, so no path can ever name two different fragments.
+  std::size_t next_id_ ARTSPARSE_GUARDED_BY(writer_mutex_) = 0;
 
   /// Guards the manifest pointer swap only (reads are a shared_ptr copy).
-  mutable std::mutex manifest_mutex_;
-  std::shared_ptr<const Manifest> manifest_;
+  mutable Mutex manifest_mutex_;
+  std::shared_ptr<const Manifest> manifest_
+      ARTSPARSE_GUARDED_BY(manifest_mutex_);
 };
 
 }  // namespace artsparse

@@ -43,33 +43,15 @@ std::vector<const ManifestEntry*> Manifest::discover(const Box& box) const {
     }
     return hits;
   }
-  if (!rtree_built_.load(std::memory_order_acquire)) {
-    // Serialize the one-time build; after the release-store the tree is
+  const RTree* tree = rtree_published_.load(std::memory_order_acquire);
+  if (tree == nullptr) {
+    // Serialize the one-time build; after the release-publish the tree is
     // immutable for this manifest's lifetime, so concurrent visits below
     // are read-only and safe.
-    const std::scoped_lock lock(rtree_mutex_);
-    if (!rtree_built_.load(std::memory_order_relaxed)) {
-      ARTSPARSE_SPAN_TYPE rebuild_span("store.rtree_rebuild", "store");
-      rebuild_span.attr("fragments",
-                        static_cast<std::uint64_t>(entries_.size()));
-      WallTimer rebuild_timer;
-      // Empty-bbox fragments (zero points) can never overlap; give them a
-      // degenerate placeholder the tree accepts, then filter on visit.
-      std::vector<Box> boxes;
-      boxes.reserve(entries_.size());
-      const Box placeholder(std::vector<index_t>(shape_.rank(), 0),
-                            std::vector<index_t>(shape_.rank(), 0));
-      for (const ManifestEntry& entry : entries_) {
-        boxes.push_back(entry.bbox.empty() ? placeholder : entry.bbox);
-      }
-      rtree_ = RTree::bulk_load(boxes);
-      ARTSPARSE_COUNT("artsparse_store_rtree_rebuilds_total", 1);
-      ARTSPARSE_OBSERVE("artsparse_store_rtree_rebuild_ns",
-                        rebuild_timer.seconds() * 1e9);
-      rtree_built_.store(true, std::memory_order_release);
-    }
+    const MutexLock lock(rtree_mutex_);
+    tree = build_rtree_locked();
   }
-  rtree_.visit(box, [&](std::size_t id) {
+  tree->visit(box, [&](std::size_t id) {
     const ManifestEntry& entry = entries_[id];
     if (!entry.bbox.empty() && entry.bbox.overlaps(box)) {
       hits.push_back(&entry);
@@ -78,6 +60,30 @@ std::vector<const ManifestEntry*> Manifest::discover(const Box& box) const {
   // Keep write order (the linear path's order) for deterministic results.
   std::sort(hits.begin(), hits.end());
   return hits;
+}
+
+const RTree* Manifest::build_rtree_locked() const {
+  if (rtree_ == nullptr) {
+    ARTSPARSE_SPAN_TYPE rebuild_span("store.rtree_rebuild", "store");
+    rebuild_span.attr("fragments",
+                      static_cast<std::uint64_t>(entries_.size()));
+    WallTimer rebuild_timer;
+    // Empty-bbox fragments (zero points) can never overlap; give them a
+    // degenerate placeholder the tree accepts, then filter on visit.
+    std::vector<Box> boxes;
+    boxes.reserve(entries_.size());
+    const Box placeholder(std::vector<index_t>(shape_.rank(), 0),
+                          std::vector<index_t>(shape_.rank(), 0));
+    for (const ManifestEntry& entry : entries_) {
+      boxes.push_back(entry.bbox.empty() ? placeholder : entry.bbox);
+    }
+    rtree_ = std::make_unique<const RTree>(RTree::bulk_load(boxes));
+    ARTSPARSE_COUNT("artsparse_store_rtree_rebuilds_total", 1);
+    ARTSPARSE_OBSERVE("artsparse_store_rtree_rebuild_ns",
+                      rebuild_timer.seconds() * 1e9);
+    rtree_published_.store(rtree_.get(), std::memory_order_release);
+  }
+  return rtree_.get();
 }
 
 }  // namespace artsparse

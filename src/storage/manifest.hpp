@@ -23,12 +23,12 @@
 #include <cstdint>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/box.hpp"
 #include "core/shape.hpp"
+#include "core/thread_safety.hpp"
 #include "core/types.hpp"
 #include "storage/rtree.hpp"
 
@@ -103,15 +103,22 @@ class Manifest {
   static constexpr std::size_t kRtreeThreshold = 32;
 
  private:
+  /// Builds the spatial index over entries_ (called once, under
+  /// rtree_mutex_) and publishes it through rtree_published_.
+  const RTree* build_rtree_locked() const ARTSPARSE_REQUIRES(rtree_mutex_);
+
   std::uint64_t generation_;
   std::vector<ManifestEntry> entries_;
   Shape shape_;
   /// Lazily built spatial index; mutable because discovery is logically
-  /// const. Guarded by rtree_mutex_; rtree_built_ is atomic so the common
-  /// already-built case is one relaxed load, no lock.
-  mutable std::mutex rtree_mutex_;
-  mutable RTree rtree_;
-  mutable std::atomic<bool> rtree_built_{false};
+  /// const. The build is serialized by rtree_mutex_ and the finished tree
+  /// is published through the atomic pointer, so the common already-built
+  /// case is one acquire load, no lock, and the analysis can see that the
+  /// mutable storage is only ever touched under the mutex.
+  mutable Mutex rtree_mutex_;
+  mutable std::unique_ptr<const RTree> rtree_
+      ARTSPARSE_GUARDED_BY(rtree_mutex_);
+  mutable std::atomic<const RTree*> rtree_published_{nullptr};
 };
 
 }  // namespace artsparse

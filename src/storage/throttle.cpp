@@ -35,7 +35,7 @@ void TokenBucket::refill_locked() const {
 
 bool TokenBucket::try_acquire(double tokens) {
   if (!enabled()) return true;
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   refill_locked();
   if (tokens_ < tokens) return false;
   tokens_ -= tokens;
@@ -44,14 +44,14 @@ bool TokenBucket::try_acquire(double tokens) {
 
 void TokenBucket::force_debit(double tokens) {
   if (!enabled()) return;
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   refill_locked();
   tokens_ -= tokens;
 }
 
 double TokenBucket::available() const {
   if (!enabled()) return 0.0;
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   refill_locked();
   return tokens_;
 }

@@ -14,8 +14,8 @@
 
 #include <chrono>
 #include <memory>
-#include <mutex>
 
+#include "core/thread_safety.hpp"
 #include "storage/file_io.hpp"
 
 namespace artsparse {
@@ -51,14 +51,15 @@ class TokenBucket {
   double rate_per_sec() const { return rate_per_sec_; }
 
  private:
-  /// Accrues tokens since the last refill. Caller holds mutex_.
-  void refill_locked() const;
+  /// Accrues tokens since the last refill.
+  void refill_locked() const ARTSPARSE_REQUIRES(mutex_);
 
   const double rate_per_sec_;
   const double burst_;
-  mutable std::mutex mutex_;
-  mutable double tokens_ = 0.0;
-  mutable std::chrono::steady_clock::time_point last_{};
+  mutable Mutex mutex_;
+  mutable double tokens_ ARTSPARSE_GUARDED_BY(mutex_) = 0.0;
+  mutable std::chrono::steady_clock::time_point last_
+      ARTSPARSE_GUARDED_BY(mutex_){};
 };
 
 /// Bandwidth/latency parameters of the simulated device.

@@ -60,6 +60,38 @@ TEST(EnvU64, ReadsProcessEnvironment) {
   EXPECT_EQ(env_u64("ARTSPARSE_TEST_ENV_U64"), std::nullopt);
 }
 
+TEST(ParseEnvFlag, UnsetIsNullopt) {
+  EXPECT_EQ(parse_env_flag(nullptr), std::nullopt);
+}
+
+TEST(ParseEnvFlag, FalsySpellings) {
+  // One shared falsy set for every ARTSPARSE_* switch: empty, "0",
+  // "false", "off", "no", case-insensitively.
+  EXPECT_EQ(parse_env_flag(""), false);
+  EXPECT_EQ(parse_env_flag("0"), false);
+  EXPECT_EQ(parse_env_flag("false"), false);
+  EXPECT_EQ(parse_env_flag("FALSE"), false);
+  EXPECT_EQ(parse_env_flag("off"), false);
+  EXPECT_EQ(parse_env_flag("Off"), false);
+  EXPECT_EQ(parse_env_flag("no"), false);
+}
+
+TEST(ParseEnvFlag, AnythingElseEnables) {
+  EXPECT_EQ(parse_env_flag("1"), true);
+  EXPECT_EQ(parse_env_flag("on"), true);
+  EXPECT_EQ(parse_env_flag("yes"), true);
+  EXPECT_EQ(parse_env_flag("true"), true);
+  EXPECT_EQ(parse_env_flag("anything"), true);
+}
+
+TEST(EnvString, VerbatimOrNullopt) {
+  ::setenv("ARTSPARSE_TEST_ENV_STRING", "write:3:EIO, spaces kept ", 1);
+  EXPECT_EQ(env_string("ARTSPARSE_TEST_ENV_STRING"),
+            "write:3:EIO, spaces kept ");
+  ::unsetenv("ARTSPARSE_TEST_ENV_STRING");
+  EXPECT_EQ(env_string("ARTSPARSE_TEST_ENV_STRING"), std::nullopt);
+}
+
 class TenantQuotaEnvTest : public ::testing::Test {
  protected:
   void TearDown() override {

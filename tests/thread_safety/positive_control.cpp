@@ -1,0 +1,41 @@
+// Positive control for the negative-compile harness: a correctly locked
+// counter that must compile clean under -Werror=thread-safety. If this
+// file fails, the harness flags are broken, and the WILL_FAIL violation
+// tests beside it prove nothing.
+#include "core/thread_safety.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() ARTSPARSE_EXCLUDES(mutex_) {
+    const artsparse::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  int value() const ARTSPARSE_EXCLUDES(mutex_) {
+    const artsparse::MutexLock lock(mutex_);
+    return value_;
+  }
+
+  void increment_locked() ARTSPARSE_REQUIRES(mutex_) { ++value_; }
+
+  void increment_twice() ARTSPARSE_EXCLUDES(mutex_) {
+    const artsparse::MutexLock lock(mutex_);
+    increment_locked();
+    increment_locked();
+  }
+
+ private:
+  mutable artsparse::Mutex mutex_;
+  int value_ ARTSPARSE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  counter.increment_twice();
+  return counter.value() == 3 ? 0 : 1;
+}

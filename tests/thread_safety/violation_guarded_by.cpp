@@ -1,0 +1,26 @@
+// Seeded violation: writes an ARTSPARSE_GUARDED_BY member without
+// holding its mutex. Clang's thread safety analysis must reject this
+// translation unit (the ctest entry is WILL_FAIL); if it ever compiles,
+// the -Werror=thread-safety gate has silently stopped working.
+#include "core/thread_safety.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment_without_lock() {
+    ++value_;  // BUG (deliberate): guarded write, no lock held
+  }
+
+ private:
+  mutable artsparse::Mutex mutex_;
+  int value_ ARTSPARSE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment_without_lock();
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Seeded violation: calls an ARTSPARSE_REQUIRES(mutex_) function without
+// holding the mutex. Clang's thread safety analysis must reject this
+// translation unit (the ctest entry is WILL_FAIL).
+#include "core/thread_safety.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment_locked() ARTSPARSE_REQUIRES(mutex_) { ++value_; }
+
+  void broken_caller() {
+    increment_locked();  // BUG (deliberate): REQUIRES callee, no lock
+  }
+
+ private:
+  mutable artsparse::Mutex mutex_;
+  int value_ ARTSPARSE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.broken_caller();
+  return 0;
+}

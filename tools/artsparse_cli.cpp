@@ -486,14 +486,18 @@ int cmd_serve_selftest(const Args& args) {
     }
 
     // Stress: workers alternate tenants; consolidation runs concurrently.
+    // Raw threads on purpose: the selftest drives the service the way an
+    // external client would, from threads the store's own parallel_for
+    // machinery knows nothing about.
     std::atomic<bool> stop{false};
+    // artsparse-lint: allow(ASL003)
     std::thread consolidator([&] {
       while (!stop.load(std::memory_order_relaxed)) {
         store.consolidate(OrgKind::kSortedCoo);
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
       }
     });
-    std::vector<std::thread> workers;
+    std::vector<std::thread> workers;  // artsparse-lint: allow(ASL003)
     for (unsigned t = 0; t < threads; ++t) {
       workers.emplace_back([&, t] {
         Session session =
@@ -510,6 +514,7 @@ int cmd_serve_selftest(const Args& args) {
         }
       });
     }
+    // artsparse-lint: allow(ASL003)
     for (std::thread& worker : workers) worker.join();
     stop.store(true, std::memory_order_relaxed);
     consolidator.join();

@@ -1,0 +1,19 @@
+// ASL002 fixture: bare C file API outside storage/file_io. The
+// std::filesystem calls at the bottom are fine and must NOT be flagged.
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+
+void fixture_raw_file_ops(const char* from, const char* to) {
+  std::FILE* handle = fopen(from, "rb");  // flagged
+  if (handle != nullptr) std::fclose(handle);
+  ::unlink(to);            // flagged
+  std::rename(from, to);   // flagged
+}
+
+void fixture_filesystem_is_fine(const std::filesystem::path& from,
+                                const std::filesystem::path& to) {
+  std::error_code ec;
+  std::filesystem::rename(from, to, ec);  // not flagged
+  std::filesystem::remove(to, ec);        // not flagged
+}

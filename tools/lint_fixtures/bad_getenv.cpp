@@ -1,0 +1,7 @@
+// ASL001 fixture: raw std::getenv outside core/env.
+#include <cstdlib>
+
+bool fixture_trace_enabled() {
+  const char* value = std::getenv("ARTSPARSE_TRACE");
+  return value != nullptr && value[0] != '0';
+}

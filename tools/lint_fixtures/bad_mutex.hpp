@@ -1,0 +1,15 @@
+// ASL005 fixture: a raw std::mutex member (use the annotated wrapper)
+// and an annotated Mutex member that guards nothing it can name.
+#pragma once
+
+#include <mutex>
+
+class FixtureRawMutex {
+  std::mutex mutex_;  // flagged: raw std::mutex member
+  int value_ = 0;
+};
+
+class FixtureUnguardedMutex {
+  mutable Mutex mutex_;  // flagged: no ARTSPARSE_GUARDED_BY(mutex_) sibling
+  int value_ = 0;
+};

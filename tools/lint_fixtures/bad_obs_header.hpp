@@ -1,0 +1,13 @@
+// ASL004 fixture: an obs macro in a header outside an ARTSPARSE_OBS
+// preprocessor guard. The guarded use below is fine.
+#pragma once
+
+inline void fixture_unguarded() {
+  ARTSPARSE_COUNT("artsparse_fixture_total", 1);  // flagged
+}
+
+#if defined(ARTSPARSE_OBS_ENABLED)
+inline void fixture_guarded() {
+  ARTSPARSE_COUNT("artsparse_fixture_total", 1);  // not flagged
+}
+#endif

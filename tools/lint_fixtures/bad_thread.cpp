@@ -1,0 +1,10 @@
+// ASL003 fixture: naked std::thread outside core/parallel. The
+// hardware_concurrency query is allowed; construction is not.
+#include <thread>
+
+unsigned fixture_spawn() {
+  const unsigned hw = std::thread::hardware_concurrency();  // not flagged
+  std::thread worker([] {});  // flagged
+  worker.join();
+  return hw;
+}

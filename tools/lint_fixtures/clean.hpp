@@ -1,0 +1,20 @@
+// Clean fixture: exercises near-misses of every rule -- prose mentions
+// of std::getenv and std::thread in comments, std::filesystem::rename,
+// a properly guarded mutex member -- none of which may be flagged.
+#pragma once
+
+#include <filesystem>
+
+// Comments may say std::getenv or std::thread freely.
+class FixtureClean {
+ public:
+  void move(const std::filesystem::path& from,
+            const std::filesystem::path& to) {
+    std::error_code ec;
+    std::filesystem::rename(from, to, ec);
+  }
+
+ private:
+  mutable Mutex mutex_;
+  int value_ ARTSPARSE_GUARDED_BY(mutex_) = 0;
+};

@@ -1,0 +1,10 @@
+// Suppression fixture: every would-be violation carries an allow
+// comment, so this file must lint clean.
+#include <thread>
+
+void fixture_suppressed() {
+  // Deliberate raw thread for the fixture.
+  // artsparse-lint: allow(ASL003)
+  std::thread worker([] {});
+  worker.join();  // artsparse-lint: allow(ASL003) -- joins the raw thread
+}
