@@ -5,7 +5,7 @@
 
 namespace artsparse {
 
-bool io_errno_retryable(int error_number) {
+IoErrnoClass io_errno_class(int error_number) {
   switch (error_number) {
     case EINTR:
     case EAGAIN:
@@ -14,11 +14,23 @@ bool io_errno_retryable(int error_number) {
 #endif
     case EBUSY:
     case ETIMEDOUT:
-    case ENOSPC:  // quota flush / Lustre grant refresh in progress
-      return true;
+      return IoErrnoClass::kTransient;
+    // Capacity errnos are only *sometimes* transient (quota flush / Lustre
+    // grant refresh in progress); a genuinely full disk never clears, so
+    // the retry loop bounds these separately instead of burning the whole
+    // backoff schedule against them.
+    case ENOSPC:
+#if defined(EDQUOT)
+    case EDQUOT:
+#endif
+      return IoErrnoClass::kCapacity;
     default:
-      return false;
+      return IoErrnoClass::kPermanent;
   }
+}
+
+bool io_errno_retryable(int error_number) {
+  return io_errno_class(error_number) != IoErrnoClass::kPermanent;
 }
 
 IoError IoError::from_errno(const std::string& op, const std::string& path) {

@@ -3,6 +3,7 @@
 // public API except std::bad_alloc.
 #pragma once
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 
@@ -29,9 +30,25 @@ class FormatError : public Error {
   explicit FormatError(const std::string& what) : Error(what) {}
 };
 
-/// True for errno classes worth retrying: transient conditions a parallel
-/// filesystem clears on its own (interrupted syscalls, backpressure, quota
-/// flushes in progress). EIO and friends are treated as permanent.
+/// How the retry loop should treat a failing errno.
+enum class IoErrnoClass {
+  /// Clears on its own (EINTR, EAGAIN, EBUSY, ETIMEDOUT): retry freely
+  /// within the policy's attempt budget.
+  kTransient,
+  /// Capacity exhaustion (ENOSPC, EDQUOT): *sometimes* transient — a quota
+  /// flush or Lustre grant refresh in progress — but a genuinely full disk
+  /// never clears, so retries are bounded separately
+  /// (RetryPolicy::max_capacity_retries) and the store health machinery
+  /// treats persistence as a degradation signal.
+  kCapacity,
+  /// Never worth retrying (EIO, EACCES, ENOENT, ...).
+  kPermanent,
+};
+IoErrnoClass io_errno_class(int error_number);
+
+/// True for errno classes worth retrying at all (transient or capacity);
+/// EIO and friends are permanent. Capacity errnos are additionally subject
+/// to the bounded-retry budget — see IoErrnoClass.
 bool io_errno_retryable(int error_number);
 
 /// Filesystem / IO failures. The raw errno travels as a field (0 when the
@@ -73,6 +90,62 @@ class OverloadedError : public Error {
  private:
   std::string tenant_;
   std::string quota_;
+};
+
+/// An operation ran out of its time budget (see core/deadline.hpp) before
+/// completing: a retry loop whose next backoff would overrun the deadline,
+/// an admission or throttle wait cut short, an injected delay interrupted.
+/// Carries how many attempts ran and how long the operation had been going
+/// so callers and tests never parse the message text. The store's on-disk
+/// state is consistent: commit paths clean their staging files on the way
+/// out, exactly as for any other mid-commit error.
+class DeadlineExceededError : public Error {
+ public:
+  explicit DeadlineExceededError(const std::string& what,
+                                 std::size_t attempts = 1,
+                                 double elapsed_seconds = 0.0)
+      : Error(what), attempts_(attempts), elapsed_seconds_(elapsed_seconds) {}
+
+  /// Tries made before the budget ran out (1 = never got past the first).
+  std::size_t attempts() const { return attempts_; }
+  /// Wall time the operation had consumed when it gave up.
+  double elapsed_seconds() const { return elapsed_seconds_; }
+
+ private:
+  std::size_t attempts_ = 1;
+  double elapsed_seconds_ = 0.0;
+};
+
+/// The operation's CancelToken fired: the client (or its session) asked for
+/// the work to stop. Like DeadlineExceededError, the store's state is
+/// consistent; unlike it, retrying is pointless until whoever cancelled
+/// says otherwise.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+/// The store is in degraded read-only mode (persistent ENOSPC/EIO on the
+/// commit path) and fails writes fast instead of burning their retry
+/// budgets against a disk that cannot accept them. Reads are unaffected.
+/// Carries the store directory and the errno that tripped degradation.
+/// The store probes the device and re-admits writes automatically once it
+/// recovers — the correct client response is to retry later.
+class StoreDegradedError : public Error {
+ public:
+  StoreDegradedError(const std::string& what, std::string directory,
+                     int last_errno)
+      : Error(what),
+        directory_(std::move(directory)),
+        last_errno_(last_errno) {}
+
+  const std::string& directory() const { return directory_; }
+  /// The errno whose persistence degraded the store (ENOSPC, EIO, ...).
+  int last_errno() const { return last_errno_; }
+
+ private:
+  std::string directory_;
+  int last_errno_ = 0;
 };
 
 namespace detail {

@@ -4,6 +4,7 @@
 #include <exception>
 #include <mutex>
 
+#include "core/deadline.hpp"
 #include "core/env.hpp"
 
 namespace artsparse {
@@ -59,13 +60,18 @@ void parallel_for(std::size_t begin, std::size_t end,
   workers.reserve(chunks);
   std::exception_ptr first_error;
   std::mutex error_mutex;
+  // The caller's deadline/cancel budget is thread-local, which a fresh
+  // worker thread would not inherit; re-install it so blocking points
+  // inside fn (throttle charges, retries, fault delays) stay bounded.
+  const OpContext ambient = current_op_context();
 
   try {
     for (std::size_t c = 0; c < chunks; ++c) {
       const std::size_t lo = begin + c * per_chunk;
       const std::size_t hi = std::min(end, lo + per_chunk);
       if (lo >= hi) break;
-      workers.push_back(detail::spawn_worker([&, lo, hi] {
+      workers.push_back(detail::spawn_worker([&, ambient, lo, hi] {
+        const ScopedOpContext op_scope(ambient);
         try {
           fn(lo, hi);
         } catch (...) {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <utility>
 
+#include "core/deadline.hpp"
 #include "core/env.hpp"
 #include "core/error.hpp"
 #include "obs/metrics.hpp"
@@ -17,6 +18,12 @@ namespace {
 constexpr std::uint64_t kMaxOpsPerSec = 1'000'000'000;            // 1e9
 constexpr std::uint64_t kMaxBytesPerSec = 1ull << 40;             // 1 TiB/s
 constexpr std::uint64_t kMaxConcurrent = 1'000'000;
+constexpr std::uint64_t kMaxDeadlineMs = 86'400'000;              // 24 h
+
+/// Poll granularity while waiting (deadline-bounded) for a concurrency
+/// slot: slots free when other ops finish, which has no schedulable
+/// refill rate like the token buckets, so the wait polls.
+constexpr double kConcurrencyPollSec = 1e-3;
 
 void count_rejected(const std::string& tenant, const char* axis) {
   ARTSPARSE_COUNT_L("artsparse_service_rejected_total", "tenant", tenant, 1);
@@ -39,6 +46,10 @@ TenantQuota TenantQuota::from_env() {
   if (const auto conc = env_u64("ARTSPARSE_TENANT_MAX_CONCURRENT",
                                 /*floor=*/1, kMaxConcurrent)) {
     quota.max_concurrent = static_cast<std::size_t>(*conc);
+  }
+  if (const auto deadline = env_u64("ARTSPARSE_TENANT_DEADLINE_MS",
+                                    /*floor=*/1, kMaxDeadlineMs)) {
+    quota.deadline_ms = *deadline;
   }
   return quota;
 }
@@ -130,14 +141,28 @@ Ticket AdmissionController::admit(const std::string& tenant,
     max_concurrent = state.quota.max_concurrent;
   }
 
+  // With a bounded ambient deadline, over-quota requests queue (bounded
+  // waits) before shedding; without one every axis decides immediately —
+  // admission never waits unboundedly.
+  const OpContext& ctx = current_op_context();
+  const bool may_wait = ctx.deadline.bounded();
+
   // Concurrency first: claim the slot optimistically, back out on a lost
   // race. Claiming before the buckets means a rejection on a later axis
   // must return the slot, but never double-admits.
   if (max_concurrent != 0) {
-    const std::size_t prior =
-        state.in_flight.fetch_add(1, std::memory_order_relaxed);
-    if (prior >= max_concurrent) {
+    for (;;) {
+      const std::size_t prior =
+          state.in_flight.fetch_add(1, std::memory_order_relaxed);
+      if (prior < max_concurrent) break;
       state.in_flight.fetch_sub(1, std::memory_order_relaxed);
+      // Slots free when in-flight ops finish — no schedulable refill like
+      // the buckets — so wait by polling within the remaining budget.
+      if (may_wait &&
+          interruptible_sleep(kConcurrencyPollSec, ctx) ==
+              WaitResult::kCompleted) {
+        continue;
+      }
       state.rejected_concurrency.fetch_add(1, std::memory_order_relaxed);
       count_rejected(tenant, "concurrency");
       throw OverloadedError("tenant '" + tenant +
@@ -149,7 +174,9 @@ Ticket AdmissionController::admit(const std::string& tenant,
     state.in_flight.fetch_add(1, std::memory_order_relaxed);
   }
 
-  if (!ops->try_acquire(1.0)) {
+  // acquire_within degenerates to try_acquire without a bounded deadline,
+  // preserving the immediate-shed contract for unbudgeted callers.
+  if (!ops->acquire_within(1.0, ctx)) {
     state.in_flight.fetch_sub(1, std::memory_order_relaxed);
     state.rejected_ops.fetch_add(1, std::memory_order_relaxed);
     count_rejected(tenant, "ops");
@@ -157,7 +184,7 @@ Ticket AdmissionController::admit(const std::string& tenant,
                           tenant, "ops");
   }
 
-  if (!bytes->try_acquire(static_cast<double>(estimated_bytes))) {
+  if (!bytes->acquire_within(static_cast<double>(estimated_bytes), ctx)) {
     state.in_flight.fetch_sub(1, std::memory_order_relaxed);
     state.rejected_bytes.fetch_add(1, std::memory_order_relaxed);
     count_rejected(tenant, "bytes");

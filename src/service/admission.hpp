@@ -33,17 +33,25 @@ struct TenantQuota {
   double ops_per_sec = 0.0;
   double bytes_per_sec = 0.0;
   std::size_t max_concurrent = 0;
+  /// Default per-operation time budget for this tenant's sessions
+  /// (core/deadline.hpp); 0 means unbounded. Sessions can override per op
+  /// with Session::with_deadline_ms. Not a quota axis: it bounds how long
+  /// an admitted op may run (and how long admission may wait), not whether
+  /// it is admitted.
+  std::uint64_t deadline_ms = 0;
 
+  /// True when every *quota axis* is unlimited (deadline_ms is a time
+  /// budget, not an admission axis, and does not participate).
   bool unlimited() const {
     return ops_per_sec == 0.0 && bytes_per_sec == 0.0 && max_concurrent == 0;
   }
 
   /// Default quota from the ARTSPARSE_TENANT_OPS_PER_SEC,
-  /// ARTSPARSE_TENANT_BYTES_PER_SEC, and ARTSPARSE_TENANT_MAX_CONCURRENT
-  /// environment knobs. Parsed with the hardened core/env contract:
-  /// malformed values (trailing garbage, signs, empty) are ignored, and
-  /// absurd values clamp to sane maxima (1e9 ops/s, 1 TiB/s, 1e6
-  /// concurrent).
+  /// ARTSPARSE_TENANT_BYTES_PER_SEC, ARTSPARSE_TENANT_MAX_CONCURRENT, and
+  /// ARTSPARSE_TENANT_DEADLINE_MS environment knobs. Parsed with the
+  /// hardened core/env contract: malformed values (trailing garbage,
+  /// signs, empty) are ignored, and absurd values clamp to sane maxima
+  /// (1e9 ops/s, 1 TiB/s, 1e6 concurrent, 24 h deadline).
   static TenantQuota from_env();
 };
 
@@ -95,6 +103,12 @@ class AdmissionController {
   /// `estimated_bytes` byte tokens. Throws OverloadedError (naming the
   /// exhausted axis) without debiting anything when any axis rejects.
   /// The returned Ticket holds the concurrency slot.
+  ///
+  /// When the ambient OpContext carries a bounded deadline, an over-quota
+  /// request queues instead of shedding immediately: token and slot waits
+  /// are bounded by the remaining budget, then reject with the same typed
+  /// OverloadedError. Without a deadline the behavior is unchanged —
+  /// admission never waits unboundedly.
   Ticket admit(const std::string& tenant, std::size_t estimated_bytes = 0);
 
   /// Post-paid byte charge (reads): debits unconditionally, possibly into

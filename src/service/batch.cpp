@@ -1,13 +1,42 @@
 #include "service/batch.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "core/deadline.hpp"
+#include "core/error.hpp"
 #include "obs/metrics.hpp"
 
 namespace artsparse {
 
+namespace {
+
+/// Poll granularity for a follower waiting on its leader's batch: the
+/// shared future carries no budget of its own, so the wait re-checks the
+/// follower's ambient deadline/cancel token at this interval.
+constexpr std::chrono::milliseconds kFollowerPoll{2};
+
+/// A batched scan observes the CALLER's budget at entry and while waiting
+/// as a follower — the leader enforces only its own. Without this, a
+/// cancelled or expired caller would be held hostage by a healthy leader
+/// and return a result nobody wants.
+void check_caller_budget(const OpContext& ctx) {
+  if (ctx.cancelled()) {
+    ARTSPARSE_COUNT("artsparse_cancelled_total", 1);
+    throw CancelledError("scan cancelled while batched");
+  }
+  if (ctx.expired()) {
+    ARTSPARSE_COUNT("artsparse_deadline_exceeded_total", 1);
+    throw DeadlineExceededError("deadline expired while scan was batched");
+  }
+}
+
+}  // namespace
+
 ReadResult BatchedReader::scan(const Box& region) {
+  const OpContext ctx = current_op_context();
+  check_caller_budget(ctx);
   auto pending = std::make_shared<Pending>();
   pending->region = region;
   std::future<ReadResult> future = pending->promise.get_future();
@@ -21,7 +50,16 @@ ReadResult BatchedReader::scan(const Box& region) {
       lead = true;
     }
   }
-  if (!lead) return future.get();
+  if (!lead) {
+    if (!ctx.bounded()) return future.get();
+    // Budgeted follower: poll the own budget while the leader works. The
+    // abandoned promise stays valid (shared_ptr), so the leader can still
+    // fulfill it harmlessly after we bail.
+    while (future.wait_for(kFollowerPoll) != std::future_status::ready) {
+      check_caller_budget(ctx);
+    }
+    return future.get();
+  }
 
   // Leader: keep draining until no new scans queued up behind us. Each
   // drain is one pinned snapshot + one scan_batch, so everything that

@@ -39,7 +39,10 @@ class BatchedReader {
   /// are concurrently in flight. Every batch executes against one pinned
   /// snapshot, so the group sees a single consistent generation. Blocks
   /// until this region's result is ready; storage errors propagate to
-  /// every caller of the failed batch.
+  /// every caller of the failed batch. The batch itself runs under the
+  /// LEADER's ambient budget, but every caller also observes its own:
+  /// a cancelled or expired follower stops waiting with the typed error
+  /// instead of riding out the leader's scan.
   ReadResult scan(const Box& region);
 
   BatchStats stats() const;

@@ -13,13 +13,22 @@ void count_tenant_op(const std::string& tenant, std::uint64_t delta = 1) {
   ARTSPARSE_COUNT_L("artsparse_tenant_ops_total", "tenant", tenant, delta);
 }
 
+/// Templated over the span type: ARTSPARSE_SPAN_TYPE is NullSpan when the
+/// build compiles observability out.
+template <typename SpanT>
+void span_deadline_attr(SpanT& span, std::uint64_t deadline_ms) {
+  if (deadline_ms != 0) span.attr("deadline_ms", deadline_ms);
+}
+
 }  // namespace
 
 Service::Service(FragmentStore& store, TenantQuota default_quota)
     : store_(store), admission_(default_quota), batcher_(store) {}
 
 Session Service::session(std::string tenant) {
-  return Session(this, std::move(tenant));
+  return Session(this, std::move(tenant),
+                 admission_.default_quota().deadline_ms,
+                 root_cancel_.child());
 }
 
 std::size_t Session::result_bytes(const ReadResult& result) {
@@ -32,9 +41,13 @@ WriteResult Session::write(const CoordBuffer& coords,
   const std::size_t payload =
       values.size() * sizeof(value_t) +
       coords.size() * coords.rank() * sizeof(index_t);
+  // Install the budget before admission so over-quota waits (and
+  // everything after) are bounded by the same per-op deadline.
+  const ScopedOpContext op_scope(op_context());
   const Ticket ticket = service_->admission_.admit(tenant_, payload);
   ARTSPARSE_SPAN_TYPE span("service.write", "service");
   span.attr("tenant", tenant_);
+  span_deadline_attr(span, deadline_ms_);
   span.attr("points", static_cast<std::uint64_t>(coords.size()));
   count_tenant_op(tenant_);
   ARTSPARSE_COUNT_L("artsparse_tenant_write_bytes_total", "tenant", tenant_,
@@ -43,9 +56,11 @@ WriteResult Session::write(const CoordBuffer& coords,
 }
 
 ReadResult Session::read(const CoordBuffer& queries) {
+  const ScopedOpContext op_scope(op_context());
   const Ticket ticket = service_->admission_.admit(tenant_);
   ARTSPARSE_SPAN_TYPE span("service.read", "service");
   span.attr("tenant", tenant_);
+  span_deadline_attr(span, deadline_ms_);
   span.attr("queries", static_cast<std::uint64_t>(queries.size()));
   count_tenant_op(tenant_);
   ReadResult result = service_->store_.read(queries);
@@ -57,9 +72,11 @@ ReadResult Session::read(const CoordBuffer& queries) {
 }
 
 ReadResult Session::read_region(const Box& region) {
+  const ScopedOpContext op_scope(op_context());
   const Ticket ticket = service_->admission_.admit(tenant_);
   ARTSPARSE_SPAN_TYPE span("service.read_region", "service");
   span.attr("tenant", tenant_);
+  span_deadline_attr(span, deadline_ms_);
   count_tenant_op(tenant_);
   ReadResult result = service_->store_.read_region(region);
   const std::size_t bytes = result_bytes(result);
@@ -70,9 +87,11 @@ ReadResult Session::read_region(const Box& region) {
 }
 
 ReadResult Session::scan(const Box& region) {
+  const ScopedOpContext op_scope(op_context());
   const Ticket ticket = service_->admission_.admit(tenant_);
   ARTSPARSE_SPAN_TYPE span("service.scan", "service");
   span.attr("tenant", tenant_);
+  span_deadline_attr(span, deadline_ms_);
   count_tenant_op(tenant_);
   ReadResult result = service_->batcher_.scan(region);
   const std::size_t bytes = result_bytes(result);
@@ -83,9 +102,11 @@ ReadResult Session::scan(const Box& region) {
 }
 
 std::vector<ReadResult> Session::scan_batch(std::span<const Box> regions) {
+  const ScopedOpContext op_scope(op_context());
   const Ticket ticket = service_->admission_.admit(tenant_);
   ARTSPARSE_SPAN_TYPE span("service.scan_batch", "service");
   span.attr("tenant", tenant_);
+  span_deadline_attr(span, deadline_ms_);
   span.attr("regions", static_cast<std::uint64_t>(regions.size()));
   count_tenant_op(tenant_);
   std::vector<ReadResult> results =

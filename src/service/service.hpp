@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/deadline.hpp"
 #include "service/admission.hpp"
 #include "service/batch.hpp"
 #include "storage/fragment_store.hpp"
@@ -37,6 +38,32 @@ class Service;
 class Session {
  public:
   const std::string& tenant() const { return tenant_; }
+
+  /// Per-operation time budget in milliseconds (0 = unbounded). Seeded
+  /// from the tenant quota's deadline_ms at session creation.
+  std::uint64_t deadline_ms() const { return deadline_ms_; }
+
+  /// A copy of this session whose operations run under an `ms`-millisecond
+  /// budget (0 removes the budget). The budget bounds the *whole* op:
+  /// admission waits, retry backoff, throttle charges, and per-fragment
+  /// scan work all observe it; on expiry the op fails with a typed
+  /// DeadlineExceededError (or, under ReadPolicy::kSkip, returns partial
+  /// results with the starved fragments marked skipped).
+  Session with_deadline_ms(std::uint64_t ms) const {
+    Session copy(*this);
+    copy.deadline_ms_ = ms;
+    return copy;
+  }
+
+  /// Cooperatively cancels every in-flight and future operation issued
+  /// through this session (and its with_deadline_ms copies, which share
+  /// the token). In-flight ops stop at their next check with a typed
+  /// CancelledError. Does not affect other sessions.
+  void cancel() const { cancel_.cancel(); }
+
+  /// The session's cancel token: a child of the service-wide root, so
+  /// Service-level cancellation reaches every session.
+  const CancelToken& cancel_token() const { return cancel_; }
 
   /// Admission-checked write; payload bytes debit the tenant's byte
   /// quota up front (the size is known before any work runs).
@@ -66,14 +93,28 @@ class Session {
 
  private:
   friend class Service;
-  Session(Service* service, std::string tenant)
-      : service_(service), tenant_(std::move(tenant)) {}
+  Session(Service* service, std::string tenant, std::uint64_t deadline_ms,
+          CancelToken cancel)
+      : service_(service),
+        tenant_(std::move(tenant)),
+        deadline_ms_(deadline_ms),
+        cancel_(std::move(cancel)) {}
 
   /// Bytes a result ships back to the client (coords + values).
   static std::size_t result_bytes(const ReadResult& result);
 
+  /// The budget every operation installs (ScopedOpContext) before
+  /// admission: fresh deadline from deadline_ms_ plus the session token.
+  OpContext op_context() const {
+    return OpContext{deadline_ms_ == 0 ? Deadline::never()
+                                       : Deadline::after_ms(deadline_ms_),
+                     cancel_};
+  }
+
   Service* service_;
   std::string tenant_;
+  std::uint64_t deadline_ms_ = 0;
+  CancelToken cancel_;
 };
 
 class Service {
@@ -85,8 +126,14 @@ class Service {
                    TenantQuota default_quota = TenantQuota::from_env());
 
   /// A handle for `tenant`. No registration needed; tenants exist from
-  /// their first request.
+  /// their first request. The session's default deadline comes from the
+  /// default quota's deadline_ms; its cancel token is a child of the
+  /// service-wide root.
   Session session(std::string tenant);
+
+  /// Cancels every session handed out by this service (and all their
+  /// in-flight operations). Irreversible; meant for shutdown.
+  void cancel_all() const { root_cancel_.cancel(); }
 
   FragmentStore& store() { return store_; }
   const FragmentStore& store() const { return store_; }
@@ -99,6 +146,8 @@ class Service {
   FragmentStore& store_;
   AdmissionController admission_;
   BatchedReader batcher_;
+  /// Parent of every session token: cancel_all() fans out through it.
+  CancelToken root_cancel_ = CancelToken::root();
 };
 
 }  // namespace artsparse

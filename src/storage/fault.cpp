@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "core/deadline.hpp"
 #include "core/env.hpp"
 #include "obs/metrics.hpp"
 
@@ -34,17 +35,37 @@ constexpr ErrnoName kErrnoNames[] = {
     {"EROFS", EROFS},     {"EMFILE", EMFILE}, {"ENFILE", ENFILE},
 };
 
-/// Parses the action field: "crash" -> 0, errno name or decimal -> value.
-int parse_action(const std::string& action) {
-  if (action == "crash") return 0;
+struct ParsedAction {
+  int error_number = 0;        ///< 0 = crash when delay_ms is 0
+  std::uint64_t delay_ms = 0;  ///< > 0 = stall action
+};
+
+/// Parses the action field: "crash" -> {0, 0}, "delay_ms=N" -> {0, N},
+/// errno name or decimal -> {value, 0}.
+ParsedAction parse_action(const std::string& action) {
+  if (action == "crash") return ParsedAction{};
+  constexpr const char kDelayPrefix[] = "delay_ms=";
+  constexpr std::size_t kDelayPrefixLen = sizeof(kDelayPrefix) - 1;
+  if (action.compare(0, kDelayPrefixLen, kDelayPrefix) == 0) {
+    const std::string ms_text = action.substr(kDelayPrefixLen);
+    char* end = nullptr;
+    const unsigned long long ms = std::strtoull(ms_text.c_str(), &end, 10);
+    // Leading-digit check: strtoull silently wraps "-5" to a huge value.
+    detail::require(!ms_text.empty() && ms_text[0] >= '0' &&
+                        ms_text[0] <= '9' && end != ms_text.c_str() &&
+                        *end == '\0' && ms > 0,
+                    "fault spec: delay_ms wants a positive integer, got '" +
+                        action + "'");
+    return ParsedAction{0, static_cast<std::uint64_t>(ms)};
+  }
   for (const ErrnoName& entry : kErrnoNames) {
-    if (action == entry.name) return entry.value;
+    if (action == entry.name) return ParsedAction{entry.value, 0};
   }
   char* end = nullptr;
   const long value = std::strtol(action.c_str(), &end, 10);
   detail::require(end != action.c_str() && *end == '\0' && value > 0,
                   "fault spec: unknown action '" + action + "'");
-  return static_cast<int>(value);
+  return ParsedAction{static_cast<int>(value), 0};
 }
 
 }  // namespace
@@ -96,9 +117,10 @@ void FaultInjector::configure(const std::string& spec) {
                         nth > 0,
                     "fault spec: nth must be a positive integer, got '" +
                         nth_text + "'");
-    const int error_number = parse_action(directive.substr(second + 1));
+    const ParsedAction action = parse_action(directive.substr(second + 1));
     directives_.push_back(Directive{op, static_cast<std::size_t>(nth),
-                                    error_number, false});
+                                    action.error_number, action.delay_ms,
+                                    false});
   }
   enabled_.store(!directives_.empty(), std::memory_order_relaxed);
 }
@@ -113,14 +135,23 @@ void FaultInjector::arm(FaultOp op, std::size_t nth, int error_number) {
   detail::require(nth > 0 && error_number > 0,
                   "fault arm: nth and errno must be positive");
   const MutexLock lock(mutex_);
-  directives_.push_back(Directive{op, nth, error_number, false});
+  directives_.push_back(Directive{op, nth, error_number, 0, false});
   enabled_.store(true, std::memory_order_relaxed);
 }
 
 void FaultInjector::arm_crash(FaultOp op, std::size_t nth) {
   detail::require(nth > 0, "fault arm: nth must be positive");
   const MutexLock lock(mutex_);
-  directives_.push_back(Directive{op, nth, 0, false});
+  directives_.push_back(Directive{op, nth, 0, 0, false});
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::arm_delay(FaultOp op, std::size_t nth,
+                              std::uint64_t delay_ms) {
+  detail::require(nth > 0 && delay_ms > 0,
+                  "fault arm: nth and delay_ms must be positive");
+  const MutexLock lock(mutex_);
+  directives_.push_back(Directive{op, nth, 0, delay_ms, false});
   enabled_.store(true, std::memory_order_relaxed);
 }
 
@@ -133,6 +164,7 @@ void FaultInjector::reset() {
 
 void FaultInjector::on_syscall(FaultOp op, const std::string& path) {
   int error_number = -1;
+  std::uint64_t delay_ms = 0;
   std::size_t call = 0;
   {
     const MutexLock lock(mutex_);
@@ -141,6 +173,7 @@ void FaultInjector::on_syscall(FaultOp op, const std::string& path) {
       if (!directive.fired && directive.op == op && directive.nth == call) {
         directive.fired = true;
         error_number = directive.error_number;
+        delay_ms = directive.delay_ms;
         break;
       }
     }
@@ -150,6 +183,24 @@ void FaultInjector::on_syscall(FaultOp op, const std::string& path) {
                     1);
   const std::string site = std::string(to_string(op)) + " call #" +
                            std::to_string(call) + " on '" + path + "'";
+  if (delay_ms > 0) {
+    // Stall, then let the call proceed: models a slow device rather than a
+    // broken one. The sleep observes the ambient deadline/cancel budget so
+    // a budgeted operation fails typed-and-fast instead of waiting it out.
+    const WaitResult wait =
+        interruptible_sleep(static_cast<double>(delay_ms) / 1e3);
+    if (wait == WaitResult::kCancelled) {
+      ARTSPARSE_COUNT("artsparse_cancelled_total", 1);
+      throw CancelledError("cancelled during injected delay at " + site);
+    }
+    if (wait == WaitResult::kDeadlineExpired) {
+      ARTSPARSE_COUNT("artsparse_deadline_exceeded_total", 1);
+      throw DeadlineExceededError(
+          "deadline expired during injected " + std::to_string(delay_ms) +
+          " ms delay at " + site);
+    }
+    return;
+  }
   if (error_number == 0) {
     throw CrashFault("injected crash at " + site);
   }

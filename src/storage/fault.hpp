@@ -12,10 +12,17 @@
 //   directive := op ":" nth ":" action
 //   op        := open | open_read | read | write | fsync | rename | dirsync
 //   nth       := 1-based call number at which the directive fires (per op)
-//   action    := crash | errno name (EIO, EINTR, EAGAIN, ENOSPC, ...)
-//                | decimal errno value
-// Example: "write:3:EIO,fsync:1:crash" — the 3rd write call fails with EIO
-// and the 1st fsync call simulates a crash. Each directive fires once.
+//   action    := crash | delay_ms=N | errno name (EIO, EINTR, EAGAIN,
+//                ENOSPC, ...) | decimal errno value
+// Example: "write:3:EIO,fsync:1:crash,read:2:delay_ms=50" — the 3rd write
+// call fails with EIO, the 1st fsync call simulates a crash, and the 2nd
+// read call stalls 50 ms (modeling a slow device) before proceeding
+// normally. Each directive fires once.
+//
+// Injected delays sleep through core/deadline's interruptible_sleep, so an
+// operation with a deadline or cancel token observes its budget even while
+// stalled and fails with the matching typed error instead of waiting the
+// delay out.
 //
 // The injector is disabled (one relaxed atomic load per hook) until a spec
 // is configured, so production paths pay nothing.
@@ -24,6 +31,7 @@
 #include <array>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -77,6 +85,10 @@ class FaultInjector {
   /// Arms a simulated crash at the `nth` call to `op` (1-based).
   void arm_crash(FaultOp op, std::size_t nth);
 
+  /// Arms a `delay_ms` stall at the `nth` call to `op` (1-based): the call
+  /// sleeps that long (deadline-aware) and then proceeds normally.
+  void arm_delay(FaultOp op, std::size_t nth, std::uint64_t delay_ms);
+
   /// Drops every directive and zeroes the counters.
   void reset();
 
@@ -94,7 +106,8 @@ class FaultInjector {
   struct Directive {
     FaultOp op;
     std::size_t nth = 0;
-    int error_number = 0;  ///< 0 means crash
+    int error_number = 0;        ///< 0 means crash (unless delay_ms is set)
+    std::uint64_t delay_ms = 0;  ///< > 0: stall this long, then proceed
     bool fired = false;
   };
 

@@ -1,12 +1,16 @@
 #include "storage/fragment_store.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cerrno>
 #include <cstdio>
 #include <map>
+#include <system_error>
 #include <utility>
 
 #include "advisor/advisor.hpp"
 #include "check/validate.hpp"
+#include "core/deadline.hpp"
 #include "core/error.hpp"
 #include "core/linearize.hpp"
 #include "core/parallel.hpp"
@@ -14,6 +18,7 @@
 #include "formats/registry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "storage/fault.hpp"
 #include "storage/fragment.hpp"
 
 namespace artsparse {
@@ -40,7 +45,57 @@ void set_generation_gauge(const std::string& directory,
 #endif
 }
 
+/// Publishes the store's health state (0 healthy / 1 recovering /
+/// 2 degraded) as a per-directory gauge, so dashboards alert on `> 0`.
+void set_health_gauge(const std::string& directory, StoreHealth health) {
+#if defined(ARTSPARSE_OBS_ENABLED)
+  obs::registry()
+      .gauge("artsparse_store_health",
+             "Store health: 0 healthy, 1 recovering, 2 degraded read-only; "
+             "labeled by store directory",
+             {{"store", directory}})
+      .set(static_cast<std::int64_t>(health));
+#else
+  static_cast<void>(directory);
+  static_cast<void>(health);
+#endif
+}
+
+/// Checked between fragments on the read fan-out: a gone budget stops the
+/// scan at a fragment boundary with a typed error, which the kSkip policy
+/// turns into a partial result (the fragment lands in ReadResult::skipped)
+/// and kStrict propagates to the caller.
+void check_budget(const OpContext& ctx) {
+  if (ctx.cancelled()) {
+    ARTSPARSE_COUNT("artsparse_cancelled_total", 1);
+    throw CancelledError("operation cancelled before fragment was read");
+  }
+  if (ctx.expired()) {
+    ARTSPARSE_COUNT("artsparse_deadline_exceeded_total", 1);
+    throw DeadlineExceededError("deadline expired before fragment was read");
+  }
+}
+
+/// Errnos whose persistence on the commit path degrades the store: the
+/// capacity class (ENOSPC/EDQUOT) plus EIO (failing device).
+bool degradation_eligible(int error_number) {
+  return error_number == EIO ||
+         io_errno_class(error_number) == IoErrnoClass::kCapacity;
+}
+
 }  // namespace
+
+const char* to_string(StoreHealth health) {
+  switch (health) {
+    case StoreHealth::kHealthy:
+      return "healthy";
+    case StoreHealth::kRecovering:
+      return "recovering";
+    case StoreHealth::kDegraded:
+      return "degraded";
+  }
+  return "?";
+}
 
 /// Per-fragment partial result, produced independently by one fan-out
 /// worker and merged on the caller in hit order (= fragment write order),
@@ -85,14 +140,17 @@ ReadResult Snapshot::read(const CoordBuffer& queries) const {
 
   // Per fragment: resolve through the cache, search, collect <query, value>
   // (lines 6-11) — one independent worker per fragment. Under kSkip a
-  // fragment that fails to load or decode is dropped and reported instead
-  // of failing the whole query.
+  // fragment that fails to load or decode — or whose turn comes after the
+  // operation's deadline/cancel budget is gone — is dropped and reported
+  // instead of failing the whole query.
+  const OpContext budget = current_op_context();
   std::vector<Partial> partials(hits.size());
   parallel_for_each(
       hits.size(),
       [&](std::size_t i) {
         Partial& partial = partials[i];
         try {
+          check_budget(budget);
           const FragmentCache::Lookup lookup =
               cache_->get(hits[i]->cache_key, hits[i]->path(), model_);
           partial.extract = lookup.load_seconds;
@@ -197,6 +255,7 @@ ReadResult Snapshot::scan_region_where(const Box& region,
   result.fragments_visited = hits.size();
 
   // Native box scan per fragment, fanned out like read().
+  const OpContext budget = current_op_context();
   std::vector<Partial> partials(hits.size());
   parallel_for_each(
       hits.size(),
@@ -204,6 +263,7 @@ ReadResult Snapshot::scan_region_where(const Box& region,
         Partial& partial = partials[i];
         partial.found_coords = CoordBuffer(shape_.rank());
         try {
+          check_budget(budget);
           const FragmentCache::Lookup lookup =
               cache_->get(hits[i]->cache_key, hits[i]->path(), model_);
           partial.extract = lookup.load_seconds;
@@ -335,6 +395,7 @@ std::vector<ReadResult> Snapshot::scan_batch(
     bool cache_hit = false;
     double extract = 0.0;
   };
+  const OpContext budget = current_op_context();
   std::vector<FragmentWork> work(unique.size());
   parallel_for_each(
       unique.size(),
@@ -342,6 +403,7 @@ std::vector<ReadResult> Snapshot::scan_batch(
         FragmentWork& w = work[s];
         w.per_region.resize(interested[s].size());
         try {
+          check_budget(budget);
           const FragmentCache::Lookup lookup =
               cache_->get(unique[s]->cache_key, unique[s]->path(), model_);
           w.cache_hit = lookup.hit;
@@ -467,6 +529,7 @@ FragmentStore::FragmentStore(std::filesystem::path directory, Shape shape,
                                            shape_);
   }
   rescan();
+  set_health(StoreHealth::kHealthy);  // publish the gauge series
 }
 
 Snapshot FragmentStore::snapshot() const {
@@ -508,6 +571,7 @@ WriteResult FragmentStore::write(const CoordBuffer& coords,
                                  std::span<const value_t> values,
                                  OrgKind org) {
   const MutexLock lock(writer_mutex_);
+  ensure_writable_locked();
   return write_locked(coords, values, org, /*replace=*/false);
 }
 
@@ -584,11 +648,21 @@ WriteResult FragmentStore::write_locked(const CoordBuffer& coords,
 
   // Commit the fragment to the (possibly throttled) device (line 7):
   // stage + fsync + rename + directory fsync, retrying transient errors.
+  // The outcome feeds the health state machine: persistent ENOSPC/EIO here
+  // degrades the store to read-only (CrashFault and budget errors are not
+  // device-health signals and bypass the bookkeeping).
   timer.reset();
-  const RetryStats io = atomic_write_file(
-      path.string(), encoded, retry_, [this](const std::string& staged) {
-        return open_for_write(staged, model_);
-      });
+  RetryStats io;
+  try {
+    io = atomic_write_file(
+        path.string(), encoded, retry_, [this](const std::string& staged) {
+          return open_for_write(staged, model_);
+        });
+  } catch (const IoError& e) {
+    note_commit_failure_locked(e.errno_value());
+    throw;
+  }
+  note_commit_success_locked();
   result.times.write = timer.seconds();
   result.times.io_attempts = io.attempts;
   result.times.io_retries = io.retries;
@@ -663,6 +737,7 @@ ReadResult FragmentStore::scan_region_where(const Box& region,
 
 WriteResult FragmentStore::consolidate(std::optional<OrgKind> org) {
   const MutexLock lock(writer_mutex_);
+  ensure_writable_locked();
   // Merge from a pinned snapshot of the current generation. Reads here are
   // always strict: merging must never silently drop data before the old
   // fragments are obsoleted.
@@ -826,6 +901,112 @@ void FragmentStore::set_retry_policy(const RetryPolicy& policy) {
 RetryPolicy FragmentStore::retry_policy() const {
   const MutexLock lock(writer_mutex_);
   return retry_;
+}
+
+void FragmentStore::set_health_policy(const HealthPolicy& policy) {
+  const MutexLock lock(writer_mutex_);
+  health_policy_ = policy;
+}
+
+HealthPolicy FragmentStore::health_policy() const {
+  const MutexLock lock(writer_mutex_);
+  return health_policy_;
+}
+
+StoreHealth FragmentStore::probe_health() {
+  const MutexLock lock(writer_mutex_);
+  if (health_.load(std::memory_order_relaxed) != StoreHealth::kHealthy) {
+    run_probe_locked();
+  }
+  return health_.load(std::memory_order_relaxed);
+}
+
+void FragmentStore::set_health(StoreHealth health) {
+  health_.store(health, std::memory_order_relaxed);
+  set_health_gauge(directory_.string(), health);
+}
+
+void FragmentStore::note_commit_success_locked() {
+  commit_failure_streak_ = 0;
+  degraded_errno_ = 0;
+  if (health_.load(std::memory_order_relaxed) != StoreHealth::kHealthy) {
+    set_health(StoreHealth::kHealthy);
+    ARTSPARSE_COUNT("artsparse_store_recovered_total", 1);
+  }
+}
+
+void FragmentStore::note_commit_failure_locked(int error_number) {
+  // Transient errnos exhaust the commit's own retry budget without saying
+  // anything about device health; only capacity/EIO persistence does.
+  if (!degradation_eligible(error_number)) return;
+  degraded_errno_ = error_number;
+  ++commit_failure_streak_;
+  if (commit_failure_streak_ >= health_policy_.degrade_after &&
+      health_.load(std::memory_order_relaxed) == StoreHealth::kHealthy) {
+    set_health(StoreHealth::kDegraded);
+    next_probe_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(
+                          health_policy_.probe_interval_sec));
+    ARTSPARSE_COUNT("artsparse_store_degraded_total", 1);
+  }
+}
+
+void FragmentStore::ensure_writable_locked() {
+  if (health_.load(std::memory_order_relaxed) == StoreHealth::kHealthy) {
+    return;
+  }
+  if (std::chrono::steady_clock::now() >= next_probe_ &&
+      run_probe_locked()) {
+    return;
+  }
+  ARTSPARSE_COUNT("artsparse_store_degraded_writes_rejected_total", 1);
+  throw StoreDegradedError(
+      "store '" + directory_.string() + "' is degraded read-only (" +
+          std::generic_category().message(degraded_errno_) +
+          "); writes fail fast until a recovery probe succeeds",
+      directory_.string(), degraded_errno_);
+}
+
+bool FragmentStore::run_probe_locked() {
+  set_health(StoreHealth::kRecovering);
+  ARTSPARSE_COUNT("artsparse_store_health_probes_total", 1);
+  // Staged tmp-file write through the real device stack (throttle + fault
+  // hooks included), then removed. The .tmp suffix means an interrupted
+  // probe's leftover is swept by the next rescan like any orphaned stage
+  // file.
+  const std::filesystem::path probe = directory_ / "health_probe.tmp";
+  const auto cleanup = [&probe] {
+    std::error_code ec;
+    std::filesystem::remove(probe, ec);  // best effort
+  };
+  try {
+    const std::array<std::byte, 8> payload{};
+    auto file = open_for_write(probe.string(), model_);
+    file->write_all(std::span<const std::byte>(payload));
+    file->sync();
+    file.reset();
+    cleanup();
+  } catch (const CrashFault&) {
+    // A crash directive is a test harness signal, not a device outcome:
+    // propagate it unswallowed, as every commit path does.
+    cleanup();
+    set_health(StoreHealth::kDegraded);
+    throw;
+  } catch (const Error&) {
+    cleanup();
+    set_health(StoreHealth::kDegraded);
+    next_probe_ =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(health_policy_.probe_interval_sec));
+    return false;
+  }
+  commit_failure_streak_ = 0;
+  degraded_errno_ = 0;
+  set_health(StoreHealth::kHealthy);
+  ARTSPARSE_COUNT("artsparse_store_recovered_total", 1);
+  return true;
 }
 
 void FragmentStore::clear() {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <limits>
@@ -76,6 +77,30 @@ struct ScanReport {
   bool clean() const {
     return swept_tmp.empty() && quarantined.empty() && ignored.empty();
   }
+};
+
+/// Store health state machine (DESIGN.md §14). Values are severity-ordered
+/// and mirrored to the artsparse_store_health gauge, so dashboards alert on
+/// `> 0`. Transitions: kHealthy → kDegraded when commit failures with a
+/// degradation-eligible errno (ENOSPC/EDQUOT/EIO) persist; kDegraded →
+/// kRecovering while a probe write runs; then back to kHealthy (probe
+/// succeeded) or kDegraded (still failing).
+enum class StoreHealth : int {
+  kHealthy = 0,     ///< writes and reads both served
+  kRecovering = 1,  ///< degraded, recovery probe in flight
+  kDegraded = 2,    ///< read-only: commit path failing persistently
+};
+const char* to_string(StoreHealth health);
+
+/// Knobs of the degradation/recovery machinery.
+struct HealthPolicy {
+  /// Consecutive commit failures with a degradation-eligible errno
+  /// (ENOSPC/EDQUOT/EIO, after the commit's own retries) before the store
+  /// turns degraded-read-only.
+  std::size_t degrade_after = 2;
+  /// Minimum spacing between recovery probes while degraded, so a stream
+  /// of rejected writes does not hammer a full device with probe traffic.
+  double probe_interval_sec = 0.05;
 };
 
 /// Inclusive value interval for predicate reads. Defaults accept anything.
@@ -253,6 +278,24 @@ class FragmentStore {
   void set_retry_policy(const RetryPolicy& policy);
   RetryPolicy retry_policy() const;
 
+  /// Current health (lock-free read; see StoreHealth). Degraded stores
+  /// fail write()/consolidate() fast with StoreDegradedError while reads
+  /// keep serving; a probe write re-admits writes automatically once the
+  /// device recovers.
+  StoreHealth health() const {
+    return health_.load(std::memory_order_relaxed);
+  }
+
+  /// Degradation/recovery knobs (degrade_after, probe interval).
+  void set_health_policy(const HealthPolicy& policy);
+  HealthPolicy health_policy() const;
+
+  /// While degraded: runs a recovery probe now, ignoring the probe
+  /// interval, and returns the resulting health. Healthy stores return
+  /// kHealthy without probing. Also how external supervisors force a
+  /// recovery check without risking a real write.
+  StoreHealth probe_health();
+
   /// How reads treat a fragment that fails to load: kStrict (default)
   /// throws; kSkip drops it and reports it in ReadResult::skipped, so one
   /// corrupt fragment cannot take down a whole multi-fragment query.
@@ -302,6 +345,24 @@ class FragmentStore {
                            std::span<const value_t> values, OrgKind org,
                            bool replace) ARTSPARSE_REQUIRES(writer_mutex_);
 
+  /// Gate at the top of every mutating commit: no-op when healthy; while
+  /// degraded, probes once the probe interval elapsed, then either admits
+  /// the write (recovered) or throws StoreDegradedError fast.
+  void ensure_writable_locked() ARTSPARSE_REQUIRES(writer_mutex_);
+
+  /// Stages and removes a small tmp file through the real device stack
+  /// (so the fault injector and throttle apply). Success flips the store
+  /// back to kHealthy; failure re-arms the probe timer. Returns success.
+  bool run_probe_locked() ARTSPARSE_REQUIRES(writer_mutex_);
+
+  /// Commit-outcome bookkeeping driving the health state machine.
+  void note_commit_success_locked() ARTSPARSE_REQUIRES(writer_mutex_);
+  void note_commit_failure_locked(int error_number)
+      ARTSPARSE_REQUIRES(writer_mutex_);
+
+  /// Stores the new state and mirrors it to the health gauge.
+  void set_health(StoreHealth health);
+
   std::filesystem::path directory_;
   Shape shape_;
   DeviceModel model_;
@@ -317,6 +378,16 @@ class FragmentStore {
   ScanReport last_scan_ ARTSPARSE_GUARDED_BY(writer_mutex_);
   /// Never reset, so no path can ever name two different fragments.
   std::size_t next_id_ ARTSPARSE_GUARDED_BY(writer_mutex_) = 0;
+
+  /// Health state machine. The state itself is atomic so readers and the
+  /// gauge observe it lock-free; the bookkeeping that drives transitions
+  /// lives on the commit path and is guarded by the writer mutex.
+  std::atomic<StoreHealth> health_{StoreHealth::kHealthy};
+  HealthPolicy health_policy_ ARTSPARSE_GUARDED_BY(writer_mutex_);
+  std::size_t commit_failure_streak_ ARTSPARSE_GUARDED_BY(writer_mutex_) = 0;
+  int degraded_errno_ ARTSPARSE_GUARDED_BY(writer_mutex_) = 0;
+  std::chrono::steady_clock::time_point next_probe_
+      ARTSPARSE_GUARDED_BY(writer_mutex_){};
 
   /// Guards the manifest pointer swap only (reads are a shared_ptr copy).
   mutable Mutex manifest_mutex_;

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
-#include <thread>
 
+#include "core/deadline.hpp"
 #include "core/error.hpp"
 #include "core/rng.hpp"
+#include "core/timer.hpp"
 #include "obs/metrics.hpp"
 
 namespace artsparse {
@@ -57,6 +57,9 @@ RetryStats retry_io(const RetryPolicy& policy,
   const std::size_t max_attempts =
       std::max<std::size_t>(policy.max_attempts, 1);
   const std::uint64_t nonce = detail::next_retry_nonce();
+  const OpContext& ctx = current_op_context();
+  WallTimer elapsed;
+  std::size_t capacity_failures = 0;
   for (std::size_t attempt = 1;; ++attempt) {
     // Counted per try (not on return) so exhausted operations still show
     // their attempts in the registry.
@@ -68,10 +71,47 @@ RetryStats retry_io(const RetryPolicy& policy,
       return stats;
     } catch (const IoError& e) {
       if (!e.retryable() || attempt >= max_attempts) throw;
-      ARTSPARSE_COUNT("artsparse_store_io_retries_total", 1);
+      if (io_errno_class(e.errno_value()) == IoErrnoClass::kCapacity &&
+          ++capacity_failures > policy.max_capacity_retries) {
+        // Persistent capacity exhaustion (full disk, hard quota) rarely
+        // clears within a backoff schedule; surface the original errno so
+        // the store health machinery can degrade instead of spinning the
+        // commit path through the whole attempt budget.
+        throw;
+      }
+      if (ctx.cancelled()) {
+        ARTSPARSE_COUNT("artsparse_cancelled_total", 1);
+        throw CancelledError("I/O retry cancelled after " +
+                             std::to_string(attempt) +
+                             " attempt(s): " + e.what());
+      }
       const double delay = policy.delay_seconds(attempt, nonce);
+      const double budget = ctx.deadline.remaining_seconds();
+      if (budget <= 0.0 || delay >= budget) {
+        // The next backoff would overrun the deadline: give up now with
+        // zero sleep rather than burning budget the caller no longer has.
+        ARTSPARSE_COUNT("artsparse_deadline_exceeded_total", 1);
+        throw DeadlineExceededError(
+            "deadline expired before I/O retry backoff (" +
+                std::to_string(attempt) + " attempt(s)): " + e.what(),
+            attempt, elapsed.seconds());
+      }
+      ARTSPARSE_COUNT("artsparse_store_io_retries_total", 1);
       if (delay > 0.0) {
-        std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+        const WaitResult wait = interruptible_sleep(delay, ctx);
+        if (wait == WaitResult::kCancelled) {
+          ARTSPARSE_COUNT("artsparse_cancelled_total", 1);
+          throw CancelledError("I/O retry cancelled during backoff after " +
+                               std::to_string(attempt) +
+                               " attempt(s): " + e.what());
+        }
+        if (wait == WaitResult::kDeadlineExpired) {
+          ARTSPARSE_COUNT("artsparse_deadline_exceeded_total", 1);
+          throw DeadlineExceededError(
+              "deadline expired during I/O retry backoff (" +
+                  std::to_string(attempt) + " attempt(s)): " + e.what(),
+              attempt, elapsed.seconds());
+        }
         stats.backoff_seconds += delay;
         ARTSPARSE_COUNT("artsparse_store_backoff_ns_total", delay * 1e9);
       }

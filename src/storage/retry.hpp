@@ -21,9 +21,15 @@ struct RetryPolicy {
   double cap_delay_sec = 0.100;   ///< exponential growth clamps here
   double jitter = 0.5;            ///< +/- half this fraction of the delay
   std::uint64_t seed = 0x415350u; ///< jitter stream; fixed => reproducible
+  /// Retries granted to capacity-class errnos (ENOSPC/EDQUOT — see
+  /// IoErrnoClass) per retry_io call. A quota flush in flight clears in
+  /// one retry; a genuinely full disk never does, so capacity failures do
+  /// not get the whole max_attempts budget before surfacing to the store
+  /// health machinery.
+  std::size_t max_capacity_retries = 1;
 
   /// No retries: fail on the first error.
-  static RetryPolicy none() { return RetryPolicy{1, 0.0, 0.0, 0.0, 0}; }
+  static RetryPolicy none() { return RetryPolicy{1, 0.0, 0.0, 0.0, 0, 0}; }
 
   /// Backoff to sleep after failed attempt `attempt` (1-based). Always in
   /// [0, cap_delay_sec * (1 + jitter / 2)]. `nonce` shifts the jitter
@@ -57,7 +63,15 @@ struct RetryStats {
 /// Runs `fn` up to `policy.max_attempts` times. A retryable IoError (see
 /// io_errno_retryable) sleeps the backoff and tries again; any other
 /// exception — and the last retryable error once attempts are exhausted —
-/// propagates to the caller unchanged.
+/// propagates to the caller unchanged. Capacity-class errnos
+/// (ENOSPC/EDQUOT) surface after `policy.max_capacity_retries` retries
+/// even when attempts remain.
+///
+/// The loop observes the ambient OpContext (core/deadline.hpp): a backoff
+/// that would overrun the remaining deadline budget is never slept —
+/// retry_io throws DeadlineExceededError (carrying attempts + elapsed)
+/// immediately — and a cancelled token stops the loop with CancelledError
+/// before the next sleep or at the next poll (~2 ms) of one in progress.
 RetryStats retry_io(const RetryPolicy& policy,
                     const std::function<void()>& fn);
 

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <thread>
 
+#include "core/error.hpp"
 #include "core/timer.hpp"
+#include "obs/metrics.hpp"
 
 namespace artsparse {
 
@@ -49,6 +50,37 @@ void TokenBucket::force_debit(double tokens) {
   tokens_ -= tokens;
 }
 
+bool TokenBucket::acquire_within(double tokens, const OpContext& ctx) {
+  if (!enabled()) return true;
+  if (!ctx.deadline.bounded()) {
+    // No budget to bound the wait, so never block: quota waits are
+    // deadline-bounded by construction.
+    return try_acquire(tokens);
+  }
+  for (;;) {
+    double shortfall = 0.0;
+    {
+      const MutexLock lock(mutex_);
+      refill_locked();
+      if (tokens_ >= tokens) {
+        tokens_ -= tokens;
+        return true;
+      }
+      shortfall = tokens - tokens_;
+    }
+    const double refill_wait = shortfall / rate_per_sec_;
+    const double budget = ctx.deadline.remaining_seconds();
+    // The refill rate is fixed and nothing ever returns tokens, so a wait
+    // longer than the remaining budget cannot succeed — fail without
+    // sleeping it out. (Concurrent acquirers can only grow the shortfall,
+    // hence the re-check loop after each wait.)
+    if (budget <= 0.0 || refill_wait > budget) return false;
+    if (interruptible_sleep(refill_wait, ctx) != WaitResult::kCompleted) {
+      return false;
+    }
+  }
+}
+
 double TokenBucket::available() const {
   if (!enabled()) return 0.0;
   const MutexLock lock(mutex_);
@@ -65,8 +97,18 @@ void ThrottledFile::charge(double seconds, double already_spent) const {
   WallTimer timer;
   const double remaining = seconds - already_spent;
   if (remaining > kSpinTailSec) {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(remaining - kSpinTailSec));
+    const OpContext& ctx = current_op_context();
+    const WaitResult wait = interruptible_sleep(remaining - kSpinTailSec, ctx);
+    if (wait == WaitResult::kCancelled) {
+      ARTSPARSE_COUNT("artsparse_cancelled_total", 1);
+      throw CancelledError("modeled device charge cancelled mid-transfer");
+    }
+    if (wait == WaitResult::kDeadlineExpired) {
+      ARTSPARSE_COUNT("artsparse_deadline_exceeded_total", 1);
+      throw DeadlineExceededError(
+          "deadline expired during modeled device time charge", 1,
+          timer.seconds());
+    }
   }
   while (timer.seconds() < remaining) {
     // Spin only the final ~1 ms: keeps the charged time proportional to

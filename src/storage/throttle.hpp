@@ -15,6 +15,7 @@
 #include <chrono>
 #include <memory>
 
+#include "core/deadline.hpp"
 #include "core/thread_safety.hpp"
 #include "storage/file_io.hpp"
 
@@ -43,6 +44,13 @@ class TokenBucket {
   /// Used for post-hoc charging: reads admit optimistically, then charge
   /// the bytes actually returned, throttling the tenant's *next* request.
   void force_debit(double tokens);
+
+  /// Deadline-bounded blocking acquire: waits (in interruptible slices)
+  /// for the refill to cover `tokens`, up to `ctx`'s remaining budget.
+  /// Returns true when the tokens were debited. A context with no bounded
+  /// deadline degenerates to try_acquire — this bucket never waits
+  /// unboundedly — and a disabled bucket always succeeds immediately.
+  bool acquire_within(double tokens, const OpContext& ctx);
 
   /// Current (refilled) balance; may be negative while in debt.
   double available() const;
@@ -96,7 +104,10 @@ class ThrottledFile final : public FileDevice {
  private:
   /// Waits until `seconds` of simulated device time have elapsed beyond
   /// what the real operation already consumed: sleeps all but the last
-  /// ~1 ms of the window, then spins the tail for precision.
+  /// ~1 ms of the window, then spins the tail for precision. The sleep
+  /// observes the ambient OpContext — a deadline or cancellation cuts the
+  /// modeled transfer short with DeadlineExceededError/CancelledError
+  /// (the data already moved; only the simulated time charge is skipped).
   void charge(double seconds, double already_spent) const;
 
   std::unique_ptr<FileDevice> inner_;

@@ -1,0 +1,287 @@
+// Deadline / cancellation coverage: budget composition (a child can only
+// shrink the budget), hierarchical cancel tokens, the ambient
+// ScopedOpContext stack (including propagation into parallel_for
+// workers), interruptible_sleep's capping and polling contract, and the
+// retry loop's interaction with a budget (zero sleeps when the first
+// backoff would overrun; capped sleep when the budget lands mid-backoff).
+#include "core/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/parallel.hpp"
+#include "core/timer.hpp"
+#include "storage/retry.hpp"
+
+namespace artsparse {
+namespace {
+
+TEST(Deadline, DefaultIsUnbounded) {
+  const Deadline deadline;
+  EXPECT_FALSE(deadline.bounded());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_TRUE(std::isinf(deadline.remaining_seconds()));
+  EXPECT_FALSE(Deadline::never().bounded());
+}
+
+TEST(Deadline, BoundedExpiresAndClampsAtZero) {
+  const Deadline deadline = Deadline::after_seconds(0.005);
+  EXPECT_TRUE(deadline.bounded());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.remaining_seconds(), 0.0);
+  EXPECT_LE(deadline.remaining_seconds(), 0.005);
+
+  const Deadline already = Deadline::after_seconds(0.0);
+  EXPECT_TRUE(already.expired());
+  EXPECT_DOUBLE_EQ(already.remaining_seconds(), 0.0);
+
+  // after_ms(0) means "already expired", not "no budget".
+  EXPECT_TRUE(Deadline::after_ms(0).expired());
+}
+
+TEST(Deadline, EarliestComposesTowardTheTighterBudget) {
+  const Deadline loose = Deadline::after_seconds(60.0);
+  const Deadline tight = Deadline::after_seconds(0.010);
+  const Deadline unbounded;
+
+  EXPECT_EQ(Deadline::earliest(loose, tight).time_point(),
+            tight.time_point());
+  EXPECT_EQ(Deadline::earliest(tight, loose).time_point(),
+            tight.time_point());
+  // Unbounded is the identity: composing keeps the bounded side.
+  EXPECT_EQ(Deadline::earliest(unbounded, tight).time_point(),
+            tight.time_point());
+  EXPECT_EQ(Deadline::earliest(tight, unbounded).time_point(),
+            tight.time_point());
+  EXPECT_FALSE(Deadline::earliest(unbounded, unbounded).bounded());
+}
+
+TEST(CancelTokenTest, InertTokenNeverCancels) {
+  const CancelToken inert;
+  EXPECT_FALSE(inert.cancellable());
+  EXPECT_FALSE(inert.cancelled());
+  inert.cancel();  // documented no-op
+  EXPECT_FALSE(inert.cancelled());
+}
+
+TEST(CancelTokenTest, CancelReachesDescendantsNotAncestors) {
+  const CancelToken root = CancelToken::root();
+  const CancelToken child = root.child();
+  const CancelToken sibling = root.child();
+  const CancelToken grandchild = child.child();
+
+  child.cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_TRUE(grandchild.cancelled()) << "cancel must reach descendants";
+  EXPECT_FALSE(root.cancelled()) << "cancel must not reach ancestors";
+  EXPECT_FALSE(sibling.cancelled()) << "cancel must not reach siblings";
+
+  root.cancel();
+  EXPECT_TRUE(root.cancelled());
+  EXPECT_TRUE(sibling.cancelled()) << "root cancel fans out to all";
+}
+
+TEST(CancelTokenTest, CopiesShareStateAndChildOfInertIsRoot) {
+  const CancelToken root = CancelToken::root();
+  const CancelToken copy = root;
+  root.cancel();
+  EXPECT_TRUE(copy.cancelled());
+
+  const CancelToken orphan = CancelToken().child();
+  EXPECT_TRUE(orphan.cancellable());
+  EXPECT_FALSE(orphan.cancelled());
+}
+
+TEST(ScopedOpContextTest, AmbientDefaultsToUnbounded) {
+  const OpContext& ambient = current_op_context();
+  EXPECT_FALSE(ambient.bounded());
+  EXPECT_FALSE(ambient.interrupted());
+}
+
+TEST(ScopedOpContextTest, NestingComposesAndRestores) {
+  const Deadline outer_deadline = Deadline::after_seconds(0.010);
+  {
+    const ScopedOpContext outer(OpContext{outer_deadline, CancelToken()});
+    EXPECT_EQ(current_op_context().deadline.time_point(),
+              outer_deadline.time_point());
+    {
+      // An inner scope with a looser deadline must NOT extend the budget.
+      const ScopedOpContext inner(
+          OpContext{Deadline::after_seconds(60.0), CancelToken()});
+      EXPECT_EQ(current_op_context().deadline.time_point(),
+                outer_deadline.time_point());
+    }
+    EXPECT_EQ(current_op_context().deadline.time_point(),
+              outer_deadline.time_point());
+  }
+  EXPECT_FALSE(current_op_context().bounded());
+}
+
+TEST(ScopedOpContextTest, InnerInertCancelInheritsEnclosingToken) {
+  const CancelToken root = CancelToken::root();
+  const ScopedOpContext outer(OpContext{Deadline(), root});
+  const ScopedOpContext inner(OpContext{Deadline::after_seconds(1.0),
+                                        CancelToken()});
+  EXPECT_FALSE(current_op_context().cancelled());
+  root.cancel();
+  EXPECT_TRUE(current_op_context().cancelled())
+      << "an inert inner token must not mask the enclosing cancel";
+}
+
+TEST(ScopedOpContextTest, ParallelForWorkersSeeTheAmbientContext) {
+  const CancelToken root = CancelToken::root();
+  const ScopedOpContext scope(
+      OpContext{Deadline::after_seconds(30.0), root});
+  std::atomic<int> bounded_seen{0};
+  // grain 1 forces real worker threads even for 64 elements; inline
+  // execution would see the ambient context trivially.
+  parallel_for(
+      0, 64,
+      [&](std::size_t, std::size_t) {
+        if (current_op_context().bounded() &&
+            current_op_context().cancel.cancellable()) {
+          bounded_seen.fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      /*threads=*/4, /*grain=*/1);
+  EXPECT_GT(bounded_seen.load(), 0)
+      << "workers must inherit the spawning thread's OpContext";
+}
+
+TEST(InterruptibleSleep, UnboundedContextSleepsTheFullDuration) {
+  WallTimer timer;
+  EXPECT_EQ(interruptible_sleep(0.005, OpContext{}),
+            WaitResult::kCompleted);
+  EXPECT_GE(timer.seconds(), 0.004);
+}
+
+TEST(InterruptibleSleep, DeadlineCapsTheSleep) {
+  const OpContext ctx{Deadline::after_seconds(0.005), CancelToken()};
+  WallTimer timer;
+  EXPECT_EQ(interruptible_sleep(10.0, ctx), WaitResult::kDeadlineExpired);
+  EXPECT_LT(timer.seconds(), 1.0)
+      << "a 10 s sleep under a 5 ms budget must stop at the budget";
+}
+
+TEST(InterruptibleSleep, AlreadyInterruptedReturnsWithoutSleeping) {
+  const OpContext expired{Deadline::after_seconds(0.0), CancelToken()};
+  WallTimer timer;
+  EXPECT_EQ(interruptible_sleep(10.0, expired),
+            WaitResult::kDeadlineExpired);
+  EXPECT_LT(timer.seconds(), 0.5);
+
+  const CancelToken token = CancelToken::root();
+  token.cancel();
+  const OpContext cancelled{Deadline(), token};
+  EXPECT_EQ(interruptible_sleep(10.0, cancelled), WaitResult::kCancelled);
+
+  // Cancellation wins the tie when both are tripped.
+  const OpContext both{Deadline::after_seconds(0.0), token};
+  EXPECT_EQ(interruptible_sleep(10.0, both), WaitResult::kCancelled);
+}
+
+TEST(InterruptibleSleep, CancelMidSleepStopsAtTheNextPoll) {
+  const CancelToken token = CancelToken::root();
+  const OpContext ctx{Deadline::after_seconds(30.0), token};
+  std::atomic<bool> finished{false};
+  WallTimer timer;
+  parallel_for_each(
+      2,
+      [&](std::size_t which) {
+        if (which == 0) {
+          interruptible_sleep(10.0, ctx);
+          finished.store(true, std::memory_order_relaxed);
+        } else {
+          interruptible_sleep(0.020, OpContext{});
+          token.cancel();
+        }
+      },
+      /*threads=*/2, /*grain=*/1);
+  EXPECT_TRUE(finished.load());
+  EXPECT_LT(timer.seconds(), 5.0)
+      << "cancel must interrupt a sleep at the next ~2 ms poll";
+}
+
+// --- retry_io under a budget -------------------------------------------
+
+TEST(RetryDeadline, BudgetShorterThanFirstBackoffFailsWithoutSleeping) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.base_delay_sec = 10.0;  // any sleep would blow the test timeout
+  policy.cap_delay_sec = 10.0;
+  policy.jitter = 0.0;
+  const ScopedOpContext scope(
+      OpContext{Deadline::after_seconds(0.050), CancelToken()});
+  WallTimer timer;
+  std::size_t runs = 0;
+  try {
+    retry_io(policy, [&] {
+      ++runs;
+      throw IoError::with_errno("write", "p", EINTR);
+    });
+    FAIL() << "expected DeadlineExceededError";
+  } catch (const DeadlineExceededError& e) {
+    EXPECT_EQ(e.attempts(), 1u);
+    EXPECT_GE(e.elapsed_seconds(), 0.0);
+  }
+  EXPECT_EQ(runs, 1u) << "no retry may run once the budget cannot cover "
+                         "the backoff";
+  EXPECT_LT(timer.seconds(), 1.0) << "the backoff must not be slept";
+}
+
+TEST(RetryDeadline, BudgetExpiringMidBackoffCapsTheSleep) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.base_delay_sec = 0.010;
+  policy.cap_delay_sec = 10.0;  // later backoffs far exceed the budget
+  policy.jitter = 0.0;
+  const ScopedOpContext scope(
+      OpContext{Deadline::after_seconds(0.040), CancelToken()});
+  WallTimer timer;
+  EXPECT_THROW(retry_io(policy,
+                        [&] {
+                          throw IoError::with_errno("write", "p", EINTR);
+                        }),
+               DeadlineExceededError);
+  EXPECT_LT(timer.seconds(), 2.0)
+      << "total time must stay near the 40 ms budget, not the 10 s cap";
+}
+
+TEST(RetryDeadline, CancelledContextStopsTheLoop) {
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.base_delay_sec = 1e-4;
+  policy.cap_delay_sec = 1e-3;
+  const CancelToken token = CancelToken::root();
+  token.cancel();
+  const ScopedOpContext scope(OpContext{Deadline(), token});
+  std::size_t runs = 0;
+  EXPECT_THROW(retry_io(policy,
+                        [&] {
+                          ++runs;
+                          throw IoError::with_errno("write", "p", EINTR);
+                        }),
+               CancelledError);
+  EXPECT_EQ(runs, 1u);
+}
+
+TEST(RetryDeadline, UnboundedContextRetriesAsBefore) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_delay_sec = 1e-6;
+  policy.cap_delay_sec = 8e-6;
+  std::size_t runs = 0;
+  const RetryStats stats = retry_io(policy, [&] {
+    if (++runs < 3) throw IoError::with_errno("write", "p", EINTR);
+  });
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+}
+
+}  // namespace
+}  // namespace artsparse

@@ -98,6 +98,7 @@ class TenantQuotaEnvTest : public ::testing::Test {
     ::unsetenv("ARTSPARSE_TENANT_OPS_PER_SEC");
     ::unsetenv("ARTSPARSE_TENANT_BYTES_PER_SEC");
     ::unsetenv("ARTSPARSE_TENANT_MAX_CONCURRENT");
+    ::unsetenv("ARTSPARSE_TENANT_DEADLINE_MS");
   }
 };
 
@@ -105,6 +106,26 @@ TEST_F(TenantQuotaEnvTest, UnsetMeansUnlimited) {
   TearDown();
   const TenantQuota quota = TenantQuota::from_env();
   EXPECT_TRUE(quota.unlimited());
+  EXPECT_EQ(quota.deadline_ms, 0u) << "no knob, no default deadline";
+}
+
+TEST_F(TenantQuotaEnvTest, DeadlineKnobParsesAndIsNotAQuotaAxis) {
+  ::setenv("ARTSPARSE_TENANT_DEADLINE_MS", "250", 1);
+  const TenantQuota quota = TenantQuota::from_env();
+  EXPECT_EQ(quota.deadline_ms, 250u);
+  EXPECT_TRUE(quota.unlimited())
+      << "a deadline bounds op duration, not admission";
+}
+
+TEST_F(TenantQuotaEnvTest, DeadlineKnobMalformedIgnoredAndHugeClamps) {
+  ::setenv("ARTSPARSE_TENANT_DEADLINE_MS", "50ms", 1);
+  EXPECT_EQ(TenantQuota::from_env().deadline_ms, 0u);
+  ::setenv("ARTSPARSE_TENANT_DEADLINE_MS", "0", 1);
+  EXPECT_EQ(TenantQuota::from_env().deadline_ms, 0u)
+      << "zero is below the floor: unbounded, not instantly expired";
+  // Absurd budgets clamp to 24 h instead of overflowing.
+  ::setenv("ARTSPARSE_TENANT_DEADLINE_MS", "99999999999999999999", 1);
+  EXPECT_EQ(TenantQuota::from_env().deadline_ms, 86'400'000u);
 }
 
 TEST_F(TenantQuotaEnvTest, KnobsParse) {

@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "check/fsck.hpp"
+#include "core/deadline.hpp"
 #include "core/error.hpp"
+#include "core/timer.hpp"
 #include "storage/file_io.hpp"
 #include "storage/fragment_store.hpp"
 #include "test_support.hpp"
@@ -71,6 +73,68 @@ TEST_F(FaultInjection, MalformedSpecsThrow) {
   EXPECT_THROW(injector.configure("write:1:EFROB"), FormatError);
   EXPECT_THROW(injector.configure("frobnicate:1:EIO"), FormatError);
   injector.reset();
+}
+
+TEST_F(FaultInjection, DelaySpecParsesAndMalformedDelaysThrow) {
+  FaultInjector& injector = FaultInjector::instance();
+  injector.configure("read:2:delay_ms=50");
+  EXPECT_TRUE(injector.enabled());
+  injector.configure("read:1:delay_ms=50,write:1:ENOSPC,fsync:1:crash");
+  EXPECT_TRUE(injector.enabled());
+
+  EXPECT_THROW(injector.configure("read:1:delay_ms="), FormatError);
+  EXPECT_THROW(injector.configure("read:1:delay_ms=0"), FormatError);
+  EXPECT_THROW(injector.configure("read:1:delay_ms=abc"), FormatError);
+  EXPECT_THROW(injector.configure("read:1:delay_ms=50x"), FormatError);
+  EXPECT_THROW(injector.configure("read:1:delay_ms=-5"), FormatError);
+  injector.reset();
+}
+
+TEST_F(FaultInjection, DelayStallsTheCallThenProceeds) {
+  // A 30 ms injected delay on the first write: the call is slower than a
+  // clean one but still succeeds with intact data.
+  FaultInjector::instance().configure("write:1:delay_ms=30");
+  const std::string path = (dir_ / "a.bin").string();
+  const Bytes data = payload(64);
+  WallTimer timer;
+  write_file(path, data);
+  EXPECT_GE(timer.seconds(), 0.025) << "the injected stall must be felt";
+  EXPECT_EQ(read_file(path), data);
+}
+
+TEST_F(FaultInjection, ArmDelayMatchesTheSpecForm) {
+  FaultInjector::instance().arm_delay(FaultOp::kWrite, 1, 30);
+  const std::string path = (dir_ / "a.bin").string();
+  WallTimer timer;
+  write_file(path, payload(32));
+  EXPECT_GE(timer.seconds(), 0.025);
+  // Fires once: the second write is not delayed.
+  timer.reset();
+  write_file(path, payload(32));
+  EXPECT_LT(timer.seconds(), 0.025);
+}
+
+TEST_F(FaultInjection, DelayIsInterruptedByTheAmbientDeadline) {
+  // A 10 s injected stall under a 5 ms budget must end almost
+  // immediately with the typed deadline error, not wait out the stall.
+  FaultInjector::instance().configure("write:1:delay_ms=10000");
+  const ScopedOpContext scope(
+      OpContext{Deadline::after_ms(5), CancelToken()});
+  WallTimer timer;
+  EXPECT_THROW(write_file((dir_ / "a.bin").string(), payload(16)),
+               DeadlineExceededError);
+  EXPECT_LT(timer.seconds(), 2.0);
+}
+
+TEST_F(FaultInjection, DelayIsInterruptedByCancellation) {
+  FaultInjector::instance().configure("write:1:delay_ms=10000");
+  const CancelToken token = CancelToken::root();
+  token.cancel();
+  const ScopedOpContext scope(OpContext{Deadline(), token});
+  WallTimer timer;
+  EXPECT_THROW(write_file((dir_ / "a.bin").string(), payload(16)),
+               CancelledError);
+  EXPECT_LT(timer.seconds(), 2.0);
 }
 
 TEST_F(FaultInjection, FiresAtTheNthSyscallWithTheArmedErrno) {

@@ -63,11 +63,99 @@ TEST_F(Retry, ErrnoClassification) {
   EXPECT_FALSE(io_errno_retryable(EACCES));
   EXPECT_FALSE(io_errno_retryable(0));
 
+  // The three-way class behind the boolean: transient errnos get the full
+  // retry budget, capacity errnos a bounded one, permanent ones none.
+  EXPECT_EQ(io_errno_class(EINTR), IoErrnoClass::kTransient);
+  EXPECT_EQ(io_errno_class(EAGAIN), IoErrnoClass::kTransient);
+  EXPECT_EQ(io_errno_class(ETIMEDOUT), IoErrnoClass::kTransient);
+  EXPECT_EQ(io_errno_class(ENOSPC), IoErrnoClass::kCapacity);
+  EXPECT_EQ(io_errno_class(EIO), IoErrnoClass::kPermanent);
+  EXPECT_EQ(io_errno_class(EACCES), IoErrnoClass::kPermanent);
+  EXPECT_EQ(io_errno_class(0), IoErrnoClass::kPermanent);
+
   EXPECT_TRUE(IoError::with_errno("write", "p", EINTR).retryable());
   EXPECT_FALSE(IoError::with_errno("write", "p", EIO).retryable());
   EXPECT_EQ(IoError::with_errno("write", "p", ENOSPC).errno_value(),
             ENOSPC);
   EXPECT_EQ(IoError("short read").errno_value(), 0);
+}
+
+TEST_F(Retry, PersistentCapacityErrorSurfacesAfterBoundedRetries) {
+  // Regression: ENOSPC used to be fully retryable, so a genuinely full
+  // disk burned the whole max_attempts backoff schedule before failing.
+  // Capacity errnos now get max_capacity_retries (default 1) and then
+  // surface the ORIGINAL errno for the store health machinery to see.
+  RetryPolicy policy = fast_policy(8);
+  std::size_t runs = 0;
+  try {
+    retry_io(policy, [&] {
+      ++runs;
+      throw IoError::with_errno("write", "p", ENOSPC);
+    });
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.errno_value(), ENOSPC);
+  }
+  EXPECT_EQ(runs, 2u) << "first try + exactly max_capacity_retries=1";
+}
+
+TEST_F(Retry, TransientEnospcStillClearsWithinTheCapacityBudget) {
+  // One ENOSPC (a quota grant mid-flush) then success: the single
+  // capacity retry is enough and the caller never sees the error.
+  RetryPolicy policy = fast_policy(8);
+  std::size_t runs = 0;
+  const RetryStats stats = retry_io(policy, [&] {
+    if (++runs == 1) throw IoError::with_errno("write", "p", ENOSPC);
+  });
+  EXPECT_EQ(stats.attempts, 2u);
+  EXPECT_EQ(runs, 2u);
+}
+
+TEST_F(Retry, CapacityRetryBudgetIsConfigurable) {
+  RetryPolicy policy = fast_policy(8);
+  policy.max_capacity_retries = 3;
+  std::size_t runs = 0;
+  EXPECT_THROW(retry_io(policy,
+                        [&] {
+                          ++runs;
+                          throw IoError::with_errno("write", "p", ENOSPC);
+                        }),
+               IoError);
+  EXPECT_EQ(runs, 4u);
+
+  policy.max_capacity_retries = 0;
+  runs = 0;
+  EXPECT_THROW(retry_io(policy,
+                        [&] {
+                          ++runs;
+                          throw IoError::with_errno("write", "p", ENOSPC);
+                        }),
+               IoError);
+  EXPECT_EQ(runs, 1u) << "zero budget: capacity errors fail immediately";
+}
+
+TEST_F(Retry, EnvForcedRepeatedEnospcIsBounded) {
+  // The end-to-end regression shape: ARTSPARSE_FAULT_SPEC forces repeated
+  // ENOSPC on the commit path; the write must surface ENOSPC after the
+  // bounded capacity budget instead of exhausting max_attempts.
+  ASSERT_EQ(setenv("ARTSPARSE_FAULT_SPEC",
+                   "open:1:ENOSPC,open:2:ENOSPC,open:3:ENOSPC,"
+                   "open:4:ENOSPC,open:5:ENOSPC,open:6:ENOSPC",
+                   1),
+            0);
+  FaultInjector::instance().configure_from_env();
+  unsetenv("ARTSPARSE_FAULT_SPEC");
+
+  const std::string path = (dir_ / "frag.asf").string();
+  try {
+    atomic_write_file(path, payload(64), fast_policy(8));
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.errno_value(), ENOSPC);
+  }
+  EXPECT_EQ(FaultInjector::instance().calls(FaultOp::kOpenWrite), 2u)
+      << "first try + one capacity retry, not the full attempt budget";
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
 }
 
 TEST_F(Retry, BackoffGrowsExponentiallyAndCaps) {

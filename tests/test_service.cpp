@@ -8,11 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include "core/deadline.hpp"
 #include "core/error.hpp"
+#include "core/parallel.hpp"
+#include "core/timer.hpp"
 #include "obs/metrics.hpp"
 #include "patterns/calibrate.hpp"
 #include "patterns/dataset.hpp"
 #include "service/service.hpp"
+#include "storage/fault.hpp"
 #include "storage/fragment_store.hpp"
 #include "storage/throttle.hpp"
 #include "test_support.hpp"
@@ -321,6 +325,115 @@ TEST_F(ServiceTest, GenerationGaugeTracksStore) {
   EXPECT_EQ(snapshot.value("artsparse_store_generation",
                            {{"store", dir_.string()}}),
             static_cast<double>(generation));
+}
+
+// --- deadlines and cancellation at the session boundary -----------------
+
+TEST_F(ServiceTest, SessionDeadlineBoundsScanAgainstSlowDevice) {
+  FaultInjector::instance().reset();
+  const CoordBuffer coords = grid_coords(0, 8);
+  store_->write(coords, values_for(coords, 1.0), OrgKind::kCoo);
+  Service service(*store_, TenantQuota{});
+  const Box region({0, 0}, {31, 31});
+
+  // Every read syscall stalls 50 ms; the session budget is 5 ms. The op
+  // must end in bounded time with the typed error, not wait out stalls.
+  for (std::size_t nth = 1; nth <= 8; ++nth) {
+    FaultInjector::instance().arm_delay(FaultOp::kOpenRead, nth, 50);
+    FaultInjector::instance().arm_delay(FaultOp::kRead, nth, 50);
+  }
+  Session budgeted = service.session("t").with_deadline_ms(5);
+  EXPECT_EQ(budgeted.deadline_ms(), 5u);
+  WallTimer timer;
+  EXPECT_THROW(budgeted.scan(region), DeadlineExceededError);
+  EXPECT_LT(timer.seconds(), 2.0);
+  FaultInjector::instance().reset();
+
+  // The same scan without a budget (and without stalls) just works —
+  // with_deadline_ms returned a copy, the base session is untouched.
+  Session unbudgeted = service.session("t");
+  EXPECT_EQ(unbudgeted.deadline_ms(), 0u);
+  EXPECT_EQ(unbudgeted.scan(region).values.size(), coords.size());
+}
+
+TEST_F(ServiceTest, SessionDefaultDeadlineComesFromTheQuota) {
+  TenantQuota quota;
+  quota.deadline_ms = 1234;
+  Service service(*store_, quota);
+  EXPECT_EQ(service.session("t").deadline_ms(), 1234u);
+  EXPECT_EQ(service.session("t").with_deadline_ms(0).deadline_ms(), 0u);
+}
+
+TEST_F(ServiceTest, SessionCancelStopsItsOpsButNotOtherSessions) {
+  const CoordBuffer coords = grid_coords(0, 4);
+  store_->write(coords, values_for(coords, 1.0), OrgKind::kCoo);
+  Service service(*store_, TenantQuota{});
+  const Box region({0, 0}, {16, 16});
+
+  Session doomed = service.session("t");
+  Session copy = doomed.with_deadline_ms(500);  // shares the token
+  Session other = service.session("t");
+
+  doomed.cancel();
+  EXPECT_TRUE(doomed.cancel_token().cancelled());
+  EXPECT_THROW(doomed.scan(region), CancelledError);
+  EXPECT_THROW(copy.scan(region), CancelledError);
+  EXPECT_EQ(other.scan(region).values.size(), coords.size())
+      << "cancelling one session must not touch its siblings";
+
+  // cancel_all fans out through the service root token.
+  service.cancel_all();
+  EXPECT_THROW(other.scan(region), CancelledError);
+
+  // Accounting still balances: cancelled ops were admitted, then failed.
+  EXPECT_EQ(service.admission().stats("t").in_flight, 0u);
+}
+
+TEST_F(ServiceTest, AdmissionWaitsUnderDeadlineUntilSlotFrees) {
+  AdmissionController admission;
+  admission.set_quota("t", TenantQuota{0.0, 0.0, /*max_concurrent=*/1});
+  Ticket held = admission.admit("t");
+
+  // No ambient deadline: the legacy immediate shed.
+  EXPECT_THROW(admission.admit("t"), OverloadedError);
+
+  // Bounded deadline: the admit queues and wins once the slot frees.
+  std::atomic<bool> waited_ok{false};
+  parallel_for_each(
+      2,
+      [&](std::size_t which) {
+        if (which == 0) {
+          const ScopedOpContext scope(
+              OpContext{Deadline::after_ms(5000), CancelToken()});
+          const Ticket waited = admission.admit("t");
+          waited_ok.store(waited.admitted(), std::memory_order_relaxed);
+        } else {
+          interruptible_sleep(0.020, OpContext{});
+          held.release();
+        }
+      },
+      /*threads=*/2, /*grain=*/1);
+  EXPECT_TRUE(waited_ok.load());
+  EXPECT_EQ(admission.stats("t").in_flight, 0u);
+}
+
+TEST_F(ServiceTest, AdmissionWaitExpiresIntoTheSameTypedRejection) {
+  AdmissionController admission;
+  admission.set_quota("t", TenantQuota{0.0, 0.0, /*max_concurrent=*/1});
+  const Ticket held = admission.admit("t");
+  const ScopedOpContext scope(
+      OpContext{Deadline::after_ms(40), CancelToken()});
+  WallTimer timer;
+  try {
+    admission.admit("t");
+    FAIL() << "expected OverloadedError after the budget ran out";
+  } catch (const OverloadedError& e) {
+    EXPECT_EQ(e.tenant(), "t");
+    EXPECT_EQ(e.quota(), "concurrency");
+  }
+  EXPECT_GE(timer.seconds(), 0.030) << "the admit must use its budget";
+  EXPECT_LT(timer.seconds(), 2.0) << "and stop once the budget is gone";
+  EXPECT_EQ(admission.stats("t").rejected_concurrency, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,310 @@
+// Store health state machine: persistent capacity/EIO commit failures
+// degrade the store to read-only, degraded writes fail fast with a typed
+// StoreDegradedError while reads keep serving, and a successful probe
+// (explicit or lazy) recovers the store. Also pins the deadline behavior
+// of the read path against an injected slow device: a budgeted scan ends
+// in bounded time with DeadlineExceededError under kStrict, or a partial
+// result with the starved fragments marked skipped under kSkip.
+#include "storage/fragment_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <filesystem>
+#include <vector>
+
+#include "core/deadline.hpp"
+#include "core/error.hpp"
+#include "core/parallel.hpp"
+#include "core/timer.hpp"
+#include "storage/fault.hpp"
+#include "test_support.hpp"
+
+namespace artsparse {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StoreHealthTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::instance().reset();
+    dir_ = testing::fresh_temp_dir("health");
+    store_ = std::make_unique<FragmentStore>(dir_, Shape{32, 32});
+    store_->set_retry_policy(fast_policy());
+    // Probe interval far beyond the test: probes run only when a test
+    // calls probe_health() explicitly, so lazy probes never consume an
+    // armed fault mid-assertion.
+    store_->set_health_policy(
+        HealthPolicy{/*degrade_after=*/2, /*probe_interval_sec=*/3600.0});
+  }
+  void TearDown() override {
+    FaultInjector::instance().reset();
+    store_.reset();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  static RetryPolicy fast_policy() {
+    RetryPolicy policy;
+    policy.max_attempts = 4;
+    policy.base_delay_sec = 1e-6;
+    policy.cap_delay_sec = 8e-6;
+    return policy;
+  }
+
+  /// One-point write; each call lands in a new fragment.
+  void write_point(value_t value) {
+    CoordBuffer coords(2);
+    coords.append({3, 4});
+    store_->write(coords, std::vector<value_t>{value}, OrgKind::kCoo);
+  }
+
+  /// Arms `count` consecutive errno faults on the open-for-write hook —
+  /// "persistent" in directive-fires-once terms.
+  static void arm_persistent_open_fault(int error_number, std::size_t count) {
+    for (std::size_t nth = 1; nth <= count; ++nth) {
+      FaultInjector::instance().arm(FaultOp::kOpenWrite, nth, error_number);
+    }
+  }
+
+  fs::path dir_;
+  std::unique_ptr<FragmentStore> store_;
+};
+
+TEST_F(StoreHealthTest, FreshStoreIsHealthy) {
+  EXPECT_EQ(store_->health(), StoreHealth::kHealthy);
+  EXPECT_STREQ(to_string(StoreHealth::kHealthy), "healthy");
+  EXPECT_STREQ(to_string(StoreHealth::kDegraded), "degraded");
+  EXPECT_STREQ(to_string(StoreHealth::kRecovering), "recovering");
+}
+
+TEST_F(StoreHealthTest, PersistentEnospcDegradesAfterThreshold) {
+  write_point(1.0);  // one committed fragment so reads have data
+  // Each failing write sees ENOSPC twice (first try + the single capacity
+  // retry); degrade_after=2 needs two failed commits.
+  arm_persistent_open_fault(ENOSPC, 16);
+
+  for (int i = 0; i < 2; ++i) {
+    try {
+      write_point(2.0);
+      FAIL() << "expected the ENOSPC to surface";
+    } catch (const IoError& e) {
+      EXPECT_EQ(e.errno_value(), ENOSPC);
+    }
+  }
+  EXPECT_EQ(store_->health(), StoreHealth::kDegraded);
+}
+
+TEST_F(StoreHealthTest, SingleEnospcDoesNotDegrade) {
+  // One failed commit is below degrade_after=2: a transient quota blip
+  // must not flip the store read-only.
+  arm_persistent_open_fault(ENOSPC, 4);
+  EXPECT_THROW(write_point(1.0), IoError);
+  FaultInjector::instance().reset();
+  EXPECT_EQ(store_->health(), StoreHealth::kHealthy);
+  write_point(2.0);  // and the next write goes through
+  EXPECT_EQ(store_->health(), StoreHealth::kHealthy);
+}
+
+TEST_F(StoreHealthTest, EioDegradesToo) {
+  // EIO is not retryable, so each write fails on its first attempt.
+  FaultInjector::instance().configure("open:1:EIO,open:2:EIO");
+  EXPECT_THROW(write_point(1.0), IoError);
+  EXPECT_EQ(store_->health(), StoreHealth::kHealthy);
+  EXPECT_THROW(write_point(1.0), IoError);
+  EXPECT_EQ(store_->health(), StoreHealth::kDegraded);
+}
+
+TEST_F(StoreHealthTest, NonEligibleErrnoNeverDegrades) {
+  // Permission errors are a caller/config problem, not device health.
+  FaultInjector::instance().configure(
+      "open:1:EACCES,open:2:EACCES,open:3:EACCES");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(write_point(1.0), IoError);
+  }
+  EXPECT_EQ(store_->health(), StoreHealth::kHealthy);
+}
+
+TEST_F(StoreHealthTest, SuccessResetsTheFailureStreak) {
+  arm_persistent_open_fault(ENOSPC, 2);  // exactly one failed commit
+  EXPECT_THROW(write_point(1.0), IoError);
+  write_point(2.0);  // success: streak back to zero
+  // reset() rewinds the injector's call counter so re-arming nth 1..2
+  // targets the next write, not the opens already consumed above.
+  FaultInjector::instance().reset();
+  arm_persistent_open_fault(ENOSPC, 2);
+  EXPECT_THROW(write_point(3.0), IoError);
+  EXPECT_EQ(store_->health(), StoreHealth::kHealthy)
+      << "non-consecutive failures must not accumulate across successes";
+}
+
+TEST_F(StoreHealthTest, DegradedWritesFailFastAndTyped) {
+  write_point(1.0);
+  arm_persistent_open_fault(ENOSPC, 16);
+  EXPECT_THROW(write_point(2.0), IoError);
+  EXPECT_THROW(write_point(2.0), IoError);
+  ASSERT_EQ(store_->health(), StoreHealth::kDegraded);
+
+  const std::size_t opens_before =
+      FaultInjector::instance().calls(FaultOp::kOpenWrite);
+  WallTimer timer;
+  try {
+    write_point(3.0);
+    FAIL() << "expected StoreDegradedError";
+  } catch (const StoreDegradedError& e) {
+    EXPECT_EQ(e.directory(), dir_.string());
+    EXPECT_EQ(e.last_errno(), ENOSPC);
+    EXPECT_NE(std::string(e.what()).find("degraded read-only"),
+              std::string::npos);
+  }
+  EXPECT_LT(timer.seconds(), 0.5) << "degraded writes must not retry";
+  EXPECT_EQ(FaultInjector::instance().calls(FaultOp::kOpenWrite),
+            opens_before)
+      << "degraded writes must fail before any syscall";
+  // Consolidation is a write too.
+  EXPECT_THROW(store_->consolidate(OrgKind::kSortedCoo),
+               StoreDegradedError);
+}
+
+TEST_F(StoreHealthTest, ReadsKeepServingWhileDegraded) {
+  write_point(7.5);
+  arm_persistent_open_fault(ENOSPC, 16);
+  EXPECT_THROW(write_point(2.0), IoError);
+  EXPECT_THROW(write_point(2.0), IoError);
+  ASSERT_EQ(store_->health(), StoreHealth::kDegraded);
+  FaultInjector::instance().reset();  // the read path is not under test
+
+  std::atomic<int> ok{0};
+  parallel_for_each(
+      4,
+      [&](std::size_t) {
+        const ReadResult result =
+            store_->scan_region(Box::whole(Shape{32, 32}));
+        if (result.values.size() == 1 && result.values[0] == 7.5) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      /*threads=*/4, /*grain=*/1);
+  EXPECT_EQ(ok.load(), 4)
+      << "concurrent reads must serve normally while degraded";
+  EXPECT_EQ(store_->health(), StoreHealth::kDegraded);
+}
+
+TEST_F(StoreHealthTest, ProbeRecoversOnceTheFaultClears) {
+  arm_persistent_open_fault(ENOSPC, 16);
+  EXPECT_THROW(write_point(1.0), IoError);
+  EXPECT_THROW(write_point(1.0), IoError);
+  ASSERT_EQ(store_->health(), StoreHealth::kDegraded);
+
+  // Device still full: the probe fails and the store stays degraded.
+  EXPECT_EQ(store_->probe_health(), StoreHealth::kDegraded);
+
+  // Device clears: the probe recovers the store, leaves no probe file
+  // behind, and writes flow again.
+  FaultInjector::instance().reset();
+  EXPECT_EQ(store_->probe_health(), StoreHealth::kHealthy);
+  EXPECT_FALSE(fs::exists(dir_ / "health_probe.tmp"));
+  write_point(3.0);
+  EXPECT_EQ(store_->health(), StoreHealth::kHealthy);
+}
+
+TEST_F(StoreHealthTest, LazyProbeRecoversOnWriteEntry) {
+  store_->set_health_policy(
+      HealthPolicy{/*degrade_after=*/2, /*probe_interval_sec=*/0.0});
+  arm_persistent_open_fault(ENOSPC, 4);
+  EXPECT_THROW(write_point(1.0), IoError);
+  EXPECT_THROW(write_point(1.0), IoError);
+  ASSERT_EQ(store_->health(), StoreHealth::kDegraded);
+  FaultInjector::instance().reset();
+
+  // With a zero probe interval the next write probes inline, recovers,
+  // and then commits — no explicit probe_health() call needed.
+  write_point(4.0);
+  EXPECT_EQ(store_->health(), StoreHealth::kHealthy);
+}
+
+TEST_F(StoreHealthTest, ProbeHealthOnHealthyStoreIsANoOp) {
+  EXPECT_EQ(store_->probe_health(), StoreHealth::kHealthy);
+  EXPECT_EQ(FaultInjector::instance().calls(FaultOp::kOpenWrite), 0u);
+}
+
+// --- deadline behavior of the read path --------------------------------
+
+TEST_F(StoreHealthTest, BudgetedScanAgainstSlowDeviceIsBounded) {
+  write_point(1.0);
+  // Every read syscall stalls 50 ms; the scan budget is 1 ms.
+  for (std::size_t nth = 1; nth <= 8; ++nth) {
+    FaultInjector::instance().arm_delay(FaultOp::kOpenRead, nth, 50);
+    FaultInjector::instance().arm_delay(FaultOp::kRead, nth, 50);
+  }
+  const ScopedOpContext scope(
+      OpContext{Deadline::after_ms(1), CancelToken()});
+  WallTimer timer;
+  EXPECT_THROW(store_->scan_region(Box::whole(Shape{32, 32})),
+               DeadlineExceededError);
+  EXPECT_LT(timer.seconds(), 2.0)
+      << "the deadline must cut the injected stall short";
+}
+
+TEST_F(StoreHealthTest, SkipPolicyTurnsDeadlineIntoPartialResult) {
+  write_point(1.0);
+  store_->set_read_fault_policy(ReadFaultPolicy::kSkip);
+  for (std::size_t nth = 1; nth <= 8; ++nth) {
+    FaultInjector::instance().arm_delay(FaultOp::kOpenRead, nth, 50);
+    FaultInjector::instance().arm_delay(FaultOp::kRead, nth, 50);
+  }
+  const ScopedOpContext scope(
+      OpContext{Deadline::after_ms(1), CancelToken()});
+  const ReadResult result = store_->scan_region(Box::whole(Shape{32, 32}));
+  EXPECT_FALSE(result.skipped.empty())
+      << "under kSkip a starved fragment becomes a skipped entry";
+}
+
+TEST_F(StoreHealthTest, CancelledScanThrowsTyped) {
+  write_point(1.0);
+  const CancelToken token = CancelToken::root();
+  token.cancel();
+  const ScopedOpContext scope(OpContext{Deadline(), token});
+  EXPECT_THROW(store_->scan_region(Box::whole(Shape{32, 32})),
+               CancelledError);
+}
+
+TEST_F(StoreHealthTest, CancellationRacesScanBatch) {
+  // TSan target: one thread cancels while others scan_batch through the
+  // same token. Run with ARTSPARSE_THREADS=8 in CI; every scan must end
+  // in a clean result or a typed CancelledError, never a race or wedge.
+  for (value_t v = 1.0; v <= 4.0; v += 1.0) write_point(v);
+  const CancelToken root = CancelToken::root();
+  std::vector<Box> regions;
+  regions.push_back(Box({0, 0}, {15, 15}));
+  regions.push_back(Box({8, 8}, {31, 31}));
+
+  std::atomic<int> finished{0};
+  parallel_for_each(
+      8,
+      [&](std::size_t which) {
+        if (which == 0) {
+          interruptible_sleep(0.002, OpContext{});
+          root.cancel();
+          return;
+        }
+        const ScopedOpContext scope(
+            OpContext{Deadline::after_seconds(30.0), root.child()});
+        for (int i = 0; i < 50; ++i) {
+          try {
+            store_->snapshot().scan_batch(regions);
+          } catch (const CancelledError&) {
+            break;
+          }
+        }
+        finished.fetch_add(1, std::memory_order_relaxed);
+      },
+      /*threads=*/8, /*grain=*/1);
+  EXPECT_EQ(finished.load(), 7) << "every scanning thread must terminate";
+  EXPECT_TRUE(root.cancelled());
+}
+
+}  // namespace
+}  // namespace artsparse

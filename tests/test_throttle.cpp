@@ -5,6 +5,8 @@
 #include <ctime>
 #include <filesystem>
 
+#include "core/deadline.hpp"
+#include "core/error.hpp"
 #include "core/timer.hpp"
 #include "test_support.hpp"
 
@@ -103,6 +105,67 @@ TEST_F(Throttle, ChargeSleepsInsteadOfSpinning) {
   // A spinning implementation spends ~the whole window on-CPU; the
   // sleeping one only the spin tail plus the actual write.
   EXPECT_LT(cpu, wall / 2.0);
+}
+
+TEST_F(Throttle, AcquireWithinWithoutDeadlineDegeneratesToTryAcquire) {
+  TokenBucket bucket(1.0, 1.0);  // 1 token burst, 1 token/s refill
+  EXPECT_TRUE(bucket.acquire_within(1.0, OpContext{}));
+  WallTimer timer;
+  // Unbounded context: never waits, behaves exactly like try_acquire.
+  EXPECT_FALSE(bucket.acquire_within(1.0, OpContext{}));
+  EXPECT_LT(timer.seconds(), 0.1);
+  // Disabled buckets always admit.
+  TokenBucket unlimited(0.0);
+  EXPECT_TRUE(unlimited.acquire_within(
+      1e9, OpContext{Deadline::after_ms(1), CancelToken()}));
+}
+
+TEST_F(Throttle, AcquireWithinWaitsOutARefillWithinBudget) {
+  TokenBucket bucket(100.0, 1.0);  // refills a token every 10 ms
+  EXPECT_TRUE(bucket.try_acquire());
+  const OpContext ctx{Deadline::after_ms(2000), CancelToken()};
+  WallTimer timer;
+  EXPECT_TRUE(bucket.acquire_within(1.0, ctx))
+      << "one refill interval fits comfortably in the budget";
+  EXPECT_GE(timer.seconds(), 0.005) << "the refill must actually be waited";
+  EXPECT_LT(timer.seconds(), 1.0);
+}
+
+TEST_F(Throttle, AcquireWithinFailsFastWhenTheRefillCannotFit) {
+  TokenBucket bucket(0.1, 1.0);  // a token every 10 s
+  EXPECT_TRUE(bucket.try_acquire());
+  const OpContext ctx{Deadline::after_ms(20), CancelToken()};
+  WallTimer timer;
+  EXPECT_FALSE(bucket.acquire_within(1.0, ctx));
+  EXPECT_LT(timer.seconds(), 1.0)
+      << "a refill that cannot fit the budget must not sleep the budget "
+         "out";
+}
+
+TEST_F(Throttle, ChargeIsInterruptedByTheDeadline) {
+  // 8 MB at 10 MB/s models a 0.8 s transfer; a 10 ms budget must cut it
+  // short with the typed error instead of charging the full window. The
+  // bound leaves sanitizer/scheduler slack while staying far below 0.8 s.
+  const DeviceModel model{10e6, 0.0};
+  auto device = open_for_write((dir_ / "f.bin").string(), model);
+  const ScopedOpContext scope(
+      OpContext{Deadline::after_ms(10), CancelToken()});
+  WallTimer timer;
+  EXPECT_THROW(device->write_all(Bytes(8 << 20, std::byte{0})),
+               DeadlineExceededError);
+  EXPECT_LT(timer.seconds(), 0.4);
+}
+
+TEST_F(Throttle, ChargeIsInterruptedByCancellation) {
+  const DeviceModel model{10e6, 0.0};
+  auto device = open_for_write((dir_ / "f.bin").string(), model);
+  const CancelToken token = CancelToken::root();
+  token.cancel();
+  const ScopedOpContext scope(OpContext{Deadline(), token});
+  WallTimer timer;
+  EXPECT_THROW(device->write_all(Bytes(8 << 20, std::byte{0})),
+               CancelledError);
+  EXPECT_LT(timer.seconds(), 0.4);
 }
 
 TEST_F(Throttle, ThrottledReadReturnsCorrectData) {

@@ -15,7 +15,7 @@
 //   artsparse repair   --store DIR [--depth header|structure|full]
 //   artsparse metrics  [--store DIR] [--region R] [--format prometheus|
 //                      json|both] [--trace FILE]
-//   artsparse serve-selftest [--threads N] [--ops N] [--json]
+//   artsparse serve-selftest [--threads N] [--ops N] [--json] [--chaos]
 //
 // Every command prints a one-line summary; data-carrying commands accept
 // --print to dump points, and read/scan accept --json for a machine-
@@ -23,12 +23,14 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <thread>
 
 #include "cli_support.hpp"
+#include "storage/fault.hpp"
 
 namespace artsparse::cli {
 namespace {
@@ -51,7 +53,7 @@ int usage() {
       "  repair    --store DIR [--depth header|structure|full]\n"
       "  metrics   [--store DIR] [--region lo:hi,...]\n"
       "            [--format prometheus|json|both] [--trace FILE]\n"
-      "  serve-selftest [--threads N] [--ops N] [--json]\n",
+      "  serve-selftest [--threads N] [--ops N] [--json] [--chaos]\n",
       stderr);
   return 2;
 }
@@ -408,6 +410,323 @@ int cmd_metrics(const Args& args) {
   return 0;
 }
 
+/// serve-selftest --chaos: layered failure drill for the deadline,
+/// cancellation, and store-health subsystems, run against a throwaway
+/// store. Three phases:
+///
+///   A  slow device, tight budget: delay_ms faults armed on the read path
+///      while a session with a short per-op deadline scans a cold store.
+///      Every op must end in bounded time — success, a typed
+///      DeadlineExceededError, or a partial result with skipped fragments —
+///      and at least one deadline trip must be observed (proof the budget
+///      actually cut a stalled read short).
+///   B  full device: persistent ENOSPC on the commit path until the store
+///      degrades to read-only. Degraded writes must fail fast with
+///      StoreDegradedError (no retry backoff, no syscalls), reads must
+///      keep serving, and once the fault clears a health probe must
+///      recover the store so writes succeed again.
+///   C  cancellation storm under load: worker threads scan through shared
+///      sessions (one tenant tightly quota'd, some sessions deadlined)
+///      while the main thread cancels half the sessions mid-flight and a
+///      consolidator churns generations. Every op must terminate, and the
+///      workers' admitted/rejected tallies must match the
+///      AdmissionController's axis accounting with zero in-flight leaks.
+///      An ARTSPARSE_FAULT_SPEC from the environment is applied on top
+///      for this phase, so CI can mix in arbitrary errno/delay faults.
+///
+/// A wall-clock watchdog fails the run if the whole drill overruns its
+/// budget — a wedged wait is exactly the regression chaos mode exists to
+/// catch. Exits nonzero on any failed invariant.
+int cmd_serve_selftest_chaos(const Args& args) {
+  const unsigned threads = static_cast<unsigned>(
+      std::stoul(args.get("threads", "4")));
+  const std::size_t ops = std::stoull(args.get("ops", "40"));
+  const double watchdog_sec = std::stod(args.get("watchdog-sec", "180"));
+  detail::require(threads >= 2, "--chaos wants --threads >= 2");
+  WallTimer watchdog;
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("artsparse_chaos_" + std::to_string(::getpid()));
+  std::error_code cleanup_ec;
+  std::filesystem::remove_all(dir, cleanup_ec);
+
+  FaultInjector& faults = FaultInjector::instance();
+  std::vector<std::string> problems;
+  std::uint64_t deadline_trips = 0;
+  std::uint64_t degraded_rejections = 0;
+  std::uint64_t cancelled_ops = 0;
+  struct TenantCounts {
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> rejected{0};
+  };
+  TenantCounts alpha_counts;
+  TenantCounts beta_counts;
+  TenantAdmissionStats alpha_stats;
+  TenantAdmissionStats beta_stats;
+  StoreHealth final_health = StoreHealth::kHealthy;
+
+  {
+    // Setup runs fault-free: the drill arms its own faults per phase.
+    faults.reset();
+    const Shape shape = parse_shape("96,96");
+    FragmentStore store(dir, shape);
+    store.set_health_policy(
+        HealthPolicy{/*degrade_after=*/2, /*probe_interval_sec=*/0.02});
+    const SparseDataset dataset =
+        make_dataset(shape, calibrate_gsp(0.05), 11);
+    const std::size_t chunk = std::max<std::size_t>(
+        1, dataset.point_count() / 4);
+    for (std::size_t lo = 0; lo < dataset.point_count(); lo += chunk) {
+      const std::size_t hi = std::min(lo + chunk, dataset.point_count());
+      CoordBuffer part(shape.rank());
+      for (std::size_t i = lo; i < hi; ++i) {
+        part.append(dataset.coords.point(i));
+      }
+      store.write(part,
+                  std::span<const value_t>(dataset.values.data() + lo,
+                                           hi - lo),
+                  OrgKind::kGcsr);
+    }
+
+    Service service(store, TenantQuota{});  // alpha: unlimited
+    service.admission().set_quota(
+        "beta", TenantQuota{/*ops_per_sec=*/25.0, /*bytes_per_sec=*/0.0,
+                            /*max_concurrent=*/2});
+    const Box region({8, 8}, {72, 72});
+
+    // --- Phase A: delay faults vs a 10 ms per-op deadline. Runs before
+    // any scan so the fragment cache is cold and reads genuinely hit the
+    // (stalled) device.
+    for (std::size_t nth = 1; nth <= 64; ++nth) {
+      faults.arm_delay(FaultOp::kRead, nth, 25);
+      faults.arm_delay(FaultOp::kOpenRead, nth, 25);
+    }
+    Session deadlined = service.session("alpha").with_deadline_ms(10);
+    for (int i = 0; i < 6; ++i) {
+      WallTimer op_timer;
+      try {
+        const ReadResult result = deadlined.scan(region);
+        alpha_counts.admitted.fetch_add(1, std::memory_order_relaxed);
+        if (!result.skipped.empty()) ++deadline_trips;
+      } catch (const DeadlineExceededError&) {
+        alpha_counts.admitted.fetch_add(1, std::memory_order_relaxed);
+        ++deadline_trips;
+      } catch (const OverloadedError&) {
+        alpha_counts.rejected.fetch_add(1, std::memory_order_relaxed);
+      }
+      // 10 ms budget + one 25 ms delay slice + slack: anything slower
+      // means a wait somewhere ignored the deadline.
+      if (op_timer.seconds() > 2.0) {
+        problems.push_back("phase A: deadlined scan took " +
+                           std::to_string(op_timer.seconds()) + " s");
+      }
+    }
+    if (deadline_trips == 0) {
+      problems.push_back(
+          "phase A: no scan tripped its deadline despite armed delays");
+    }
+    faults.reset();
+
+    // --- Phase B: persistent ENOSPC until the store degrades, then
+    // recovery once the device "frees up".
+    for (std::size_t nth = 1; nth <= 64; ++nth) {
+      faults.arm(FaultOp::kOpenWrite, nth, ENOSPC);
+    }
+    Session writer = service.session("alpha");
+    CoordBuffer one_point(shape.rank());
+    one_point.append({1, 2});
+    const value_t one_value[] = {7.0};
+    bool degraded = false;
+    for (int i = 0; i < 8 && !degraded; ++i) {
+      try {
+        writer.write(one_point, one_value, OrgKind::kCoo);
+        alpha_counts.admitted.fetch_add(1, std::memory_order_relaxed);
+        problems.push_back("phase B: write succeeded under full-disk fault");
+        break;
+      } catch (const StoreDegradedError&) {
+        alpha_counts.admitted.fetch_add(1, std::memory_order_relaxed);
+        degraded = true;
+      } catch (const IoError&) {
+        alpha_counts.admitted.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (!degraded || store.health() != StoreHealth::kDegraded) {
+      problems.push_back("phase B: store did not degrade under ENOSPC");
+    } else {
+      // Degraded writes must fail fast (no backoff, no syscalls).
+      WallTimer reject_timer;
+      try {
+        writer.write(one_point, one_value, OrgKind::kCoo);
+        problems.push_back("phase B: degraded write succeeded");
+      } catch (const StoreDegradedError&) {
+        ++degraded_rejections;
+      }
+      alpha_counts.admitted.fetch_add(1, std::memory_order_relaxed);
+      if (reject_timer.seconds() > 0.5) {
+        problems.push_back("phase B: degraded write was not fail-fast");
+      }
+      // Reads keep serving while degraded.
+      try {
+        writer.scan(region);
+        alpha_counts.admitted.fetch_add(1, std::memory_order_relaxed);
+      } catch (const Error& e) {
+        alpha_counts.admitted.fetch_add(1, std::memory_order_relaxed);
+        problems.push_back(std::string("phase B: degraded read failed: ") +
+                           e.what());
+      }
+      // Device clears: the probe must bring the store back.
+      faults.reset();
+      if (store.probe_health() != StoreHealth::kHealthy) {
+        problems.push_back("phase B: probe did not recover the store");
+      } else {
+        try {
+          writer.write(one_point, one_value, OrgKind::kCoo);
+          alpha_counts.admitted.fetch_add(1, std::memory_order_relaxed);
+        } catch (const Error& e) {
+          alpha_counts.admitted.fetch_add(1, std::memory_order_relaxed);
+          problems.push_back(
+              std::string("phase B: post-recovery write failed: ") +
+              e.what());
+        }
+      }
+    }
+    faults.reset();
+
+    // --- Phase C: cancellation storm. Honor any environment fault spec on
+    // top so CI can mix in extra errno/delay chaos.
+    faults.configure_from_env();
+    std::vector<Session> sessions;
+    for (unsigned t = 0; t < threads; ++t) {
+      Session session = service.session(t % 2 == 0 ? "alpha" : "beta");
+      // Odd sessions also carry a budget, so admission waits and scans
+      // race deadlines as well as cancellation.
+      sessions.push_back(t % 2 == 0 ? session
+                                    : session.with_deadline_ms(50));
+    }
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> cancelled_seen{0};
+    // Rendezvous so the cancel deterministically lands mid-storm: every
+    // worker proves the storm is live (one completed op), the main thread
+    // cancels the even sessions, and only then do workers run the rest.
+    std::atomic<unsigned> warmed_up{0};
+    std::atomic<bool> cancel_issued{false};
+    // artsparse-lint: allow(ASL003)
+    std::thread consolidator([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        try {
+          store.consolidate(OrgKind::kSortedCoo);
+        } catch (const Error&) {
+          // Injected faults may fail a consolidation pass; the next one
+          // retries. Health bookkeeping is phase B's subject, not C's.
+        }
+        interruptible_sleep(0.010);
+      }
+    });
+    std::vector<std::thread> workers;  // artsparse-lint: allow(ASL003)
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        Session& session = sessions[t];
+        TenantCounts& counts = t % 2 == 0 ? alpha_counts : beta_counts;
+        for (std::size_t i = 0; i < ops; ++i) {
+          try {
+            session.scan(region);
+            counts.admitted.fetch_add(1, std::memory_order_relaxed);
+          } catch (const OverloadedError&) {
+            counts.rejected.fetch_add(1, std::memory_order_relaxed);
+          } catch (const CancelledError&) {
+            counts.admitted.fetch_add(1, std::memory_order_relaxed);
+            cancelled_seen.fetch_add(1, std::memory_order_relaxed);
+          } catch (const Error&) {
+            // Deadline trips and injected I/O faults: admitted, failed.
+            counts.admitted.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (i == 0) {
+            warmed_up.fetch_add(1, std::memory_order_relaxed);
+            while (!cancel_issued.load(std::memory_order_acquire)) {
+              interruptible_sleep(0.001);
+            }
+          }
+        }
+      });
+    }
+    // Once every worker has one op behind it, cancel half the sessions;
+    // the even sessions' remaining ops must all observe the cancel.
+    while (warmed_up.load(std::memory_order_relaxed) < threads) {
+      interruptible_sleep(0.001);
+    }
+    for (unsigned t = 0; t < threads; t += 2) {
+      sessions[t].cancel();
+    }
+    cancel_issued.store(true, std::memory_order_release);
+    // artsparse-lint: allow(ASL003)
+    for (std::thread& worker : workers) worker.join();
+    stop.store(true, std::memory_order_relaxed);
+    consolidator.join();
+    faults.reset();
+
+    cancelled_ops = cancelled_seen.load(std::memory_order_relaxed);
+    if (cancelled_ops == 0) {
+      problems.push_back("phase C: no op observed its session's cancel");
+    }
+    alpha_stats = service.admission().stats("alpha");
+    beta_stats = service.admission().stats("beta");
+    if (alpha_stats.admitted != alpha_counts.admitted.load() ||
+        alpha_stats.rejected() != alpha_counts.rejected.load() ||
+        beta_stats.admitted != beta_counts.admitted.load() ||
+        beta_stats.rejected() != beta_counts.rejected.load()) {
+      problems.push_back("admission accounting mismatch");
+    }
+    if (alpha_stats.in_flight != 0 || beta_stats.in_flight != 0) {
+      problems.push_back("admission slot leaked (in_flight != 0)");
+    }
+    final_health = store.health();
+    if (final_health != StoreHealth::kHealthy) {
+      problems.push_back("store not healthy at end of drill");
+    }
+  }
+  std::filesystem::remove_all(dir, cleanup_ec);
+
+  if (watchdog.seconds() > watchdog_sec) {
+    problems.push_back("watchdog: drill exceeded " +
+                       std::to_string(watchdog_sec) + " s");
+  }
+  const bool ok = problems.empty();
+
+  if (args.has("json")) {
+    std::printf(
+        "{\"ok\": %s, \"mode\": \"chaos\", \"threads\": %u, "
+        "\"ops_per_thread\": %zu,\n"
+        " \"deadline_trips\": %llu, \"degraded_rejections\": %llu, "
+        "\"cancelled_ops\": %llu,\n"
+        " \"final_health\": \"%s\", \"elapsed_sec\": %.3f,\n"
+        " \"problems\": [",
+        ok ? "true" : "false", threads, ops,
+        static_cast<unsigned long long>(deadline_trips),
+        static_cast<unsigned long long>(degraded_rejections),
+        static_cast<unsigned long long>(cancelled_ops),
+        to_string(final_health), watchdog.seconds());
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+      std::printf("%s\"%s\"", i == 0 ? "" : ", ", problems[i].c_str());
+    }
+    std::printf("]}\n");
+  } else {
+    std::printf(
+        "serve-selftest --chaos: %s (%.1f s)\n"
+        "  deadline trips: %llu, degraded rejections: %llu, cancelled "
+        "ops: %llu, final health: %s\n",
+        ok ? "ok" : "FAILED", watchdog.seconds(),
+        static_cast<unsigned long long>(deadline_trips),
+        static_cast<unsigned long long>(degraded_rejections),
+        static_cast<unsigned long long>(cancelled_ops),
+        to_string(final_health));
+    for (const std::string& problem : problems) {
+      std::printf("  problem: %s\n", problem.c_str());
+    }
+  }
+  return ok ? 0 : 1;
+}
+
 /// Multi-tenant service stress mode: hammers a throwaway store through the
 /// service layer from several threads (two tenants, one of them tightly
 /// quota'd) while consolidation runs concurrently, then cross-checks
@@ -415,8 +734,10 @@ int cmd_metrics(const Args& args) {
 ///     identically by the AdmissionController (the CI gate),
 ///   - batched scans returned byte-identical results to sequential scans,
 ///   - no admission slot leaked (in_flight back to 0).
-/// Exits nonzero on any mismatch.
+/// Exits nonzero on any mismatch. With --chaos, runs the failure drill
+/// above instead.
 int cmd_serve_selftest(const Args& args) {
+  if (args.has("chaos")) return cmd_serve_selftest_chaos(args);
   const unsigned threads = static_cast<unsigned>(
       std::stoul(args.get("threads", "4")));
   const std::size_t ops = std::stoull(args.get("ops", "150"));
@@ -494,7 +815,7 @@ int cmd_serve_selftest(const Args& args) {
     std::thread consolidator([&] {
       while (!stop.load(std::memory_order_relaxed)) {
         store.consolidate(OrgKind::kSortedCoo);
-        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        interruptible_sleep(0.010);
       }
     });
     std::vector<std::thread> workers;  // artsparse-lint: allow(ASL003)

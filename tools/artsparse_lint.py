@@ -28,6 +28,11 @@ and the thread-safety annotation discipline for headers:
                            of the annotated core/thread_safety wrappers.
                            A mutex that guards nothing it can name is a
                            lock the thread-safety analysis cannot check.
+  ASL006 raw-sleep         std::this_thread::sleep_for/sleep_until outside
+                           core/deadline and storage/throttle. Raw sleeps
+                           ignore the ambient deadline and cancel token;
+                           wait through core/deadline's interruptible_sleep
+                           so every block is budget-aware.
 
 Suppression: a comment `artsparse-lint: allow(ASL003)` suppresses that
 rule on its own line and the line directly below. Suppressions are for
@@ -56,6 +61,10 @@ EXEMPT_SUFFIXES = {
     "ASL003": ("core/parallel.cpp", "core/parallel.hpp"),
     "ASL004": ("obs/metrics.hpp",),  # the macros' definition site
     "ASL005": ("core/thread_safety.hpp",),  # the annotated wrappers
+    # interruptible_sleep's implementation, and the throttle's modeled
+    # device-time charge (whose wait already routes through it).
+    "ASL006": ("core/deadline.cpp", "core/deadline.hpp",
+               "storage/throttle.cpp"),
 }
 
 ALLOW_RE = re.compile(r"artsparse-lint:\s*allow\(\s*(ASL\d{3})\s*\)")
@@ -74,6 +83,7 @@ THREAD_RE = re.compile(r"\bstd::thread\b(?!::hardware_concurrency)")
 OBS_MACRO_RE = re.compile(
     r"\bARTSPARSE_(?:COUNT|COUNT_L|OBSERVE|OBSERVE_L|GAUGE_ADD)\s*\("
 )
+RAW_SLEEP_RE = re.compile(r"\bstd::this_thread::sleep_(?:for|until)\s*\(")
 MUTEX_MEMBER_RE = re.compile(
     r"^\s*(?:mutable\s+)?"
     r"(?P<type>(?:artsparse::)?(?:Mutex|SharedMutex)|"
@@ -215,6 +225,11 @@ def lint_file(path: str, rel_path: str) -> list[Violation]:
             report("ASL003", idx,
                    "naked std::thread; use core/parallel (parallel_for / "
                    "parallel_for_each) or justify with an allow comment")
+        if not exempt("ASL006", rel_path) and RAW_SLEEP_RE.search(line):
+            report("ASL006", idx,
+                   "raw std::this_thread sleep; wait through core/deadline"
+                   "'s interruptible_sleep so the deadline and cancel "
+                   "token are observed")
         if (is_header and not is_pp_define
                 and not exempt("ASL004", rel_path)
                 and OBS_MACRO_RE.search(line)
@@ -280,7 +295,7 @@ def relativize(root: str, absolute: str) -> str:
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="artsparse_lint",
-        description="artsparse project-rule linter (rules ASL001-ASL005)")
+        description="artsparse project-rule linter (rules ASL001-ASL006)")
     parser.add_argument("paths", nargs="*",
                         help="files or directories to lint "
                              "(default: src/ and tools/ under --root)")

@@ -1,0 +1,11 @@
+// ASL006 fixture: raw std::this_thread sleeps outside core/deadline and
+// storage/throttle. Both forms are flagged; waits must route through
+// interruptible_sleep so the ambient deadline and cancel token apply.
+#include <chrono>
+#include <thread>
+
+void fixture_raw_sleep() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));  // flagged
+  std::this_thread::sleep_until(  // flagged
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(10));
+}

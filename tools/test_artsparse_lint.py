@@ -56,6 +56,10 @@ class RuleFixtures(unittest.TestCase):
     def test_asl005_unguarded_and_raw_mutex(self):
         self.assert_rules("bad_mutex.hpp", ["ASL005", "ASL005"])
 
+    def test_asl006_raw_sleep(self):
+        # sleep_for and sleep_until both flagged.
+        self.assert_rules("bad_sleep.cpp", ["ASL006", "ASL006"])
+
     def test_suppression_comment(self):
         self.assert_rules("suppressed.cpp", [])
 
@@ -101,7 +105,9 @@ class RealTree(unittest.TestCase):
         exit_code, _, _ = run_lint(
             os.path.join(REPO_ROOT, "src", "core", "env.cpp"),
             os.path.join(REPO_ROOT, "src", "storage", "file_io.cpp"),
-            os.path.join(REPO_ROOT, "src", "core", "parallel.cpp"))
+            os.path.join(REPO_ROOT, "src", "core", "parallel.cpp"),
+            os.path.join(REPO_ROOT, "src", "core", "deadline.cpp"),
+            os.path.join(REPO_ROOT, "src", "storage", "throttle.cpp"))
         self.assertEqual(exit_code, 0)
 
 
